@@ -1,0 +1,79 @@
+package main
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// freePorts reserves n distinct TCP ports by listening and closing.
+func freePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	listeners := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	return addrs
+}
+
+// TestThreeNodeCluster drives the exact code path the CLI uses, with three
+// in-process "processes" — the paper's testbed layout.
+func TestThreeNodeCluster(t *testing.T) {
+	addrs := freePorts(t, 3)
+	peers := strings.Join(addrs, ",")
+
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for id := 0; id < 3; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			errs[id] = run(id, peers, "complete", 3, 15, 0.1, "snap",
+				7, 8, 600, 5*time.Second)
+		}(id)
+	}
+	wg.Wait()
+	for id, err := range errs {
+		if err != nil {
+			t.Errorf("node %d: %v", id, err)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func() error
+	}{
+		{"noPeers", func() error {
+			return run(0, "", "complete", 3, 1, 0.1, "snap", 1, 2, 100, time.Second)
+		}},
+		{"idOutOfRange", func() error {
+			return run(5, "a:1,b:2", "complete", 3, 1, 0.1, "snap", 1, 2, 100, time.Second)
+		}},
+		{"badTopology", func() error {
+			return run(0, "a:1,b:2", "mesh", 3, 1, 0.1, "snap", 1, 2, 100, time.Second)
+		}},
+		{"badPolicy", func() error {
+			return run(0, "a:1,b:2", "complete", 3, 1, 0.1, "blast", 1, 2, 100, time.Second)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.f(); err == nil {
+				t.Error("invalid flags accepted")
+			}
+		})
+	}
+}

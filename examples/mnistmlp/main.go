@@ -1,0 +1,75 @@
+// MNIST-style MLP: the paper's 3-server testbed experiment, simulated.
+//
+// Three fully connected edge servers train the 784-30-10 network on a
+// synthetic digit task. The example prints the accuracy trajectory of SNAP
+// next to centralized training and shows SNAP's per-iteration traffic
+// collapsing as the model converges — the paper's Fig. 4 in miniature.
+//
+//	go run ./examples/mnistmlp
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/snapml/snap"
+)
+
+func main() {
+	const (
+		servers    = 3
+		iterations = 40
+	)
+
+	rng := rand.New(rand.NewSource(4))
+	train, test := snap.SyntheticDigits(snap.DigitsConfig{
+		Train: 1200, Test: 300, Noise: 0.4, Shift: 3,
+	}, rng)
+	parts, err := train.Partition(servers, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := snap.NewMLP(train.NumFeature, 30, 10) // the paper's 784-30-10 net
+
+	noStop := snap.ConvergenceDetector{RelTol: 1e-15, Patience: 1 << 30}
+	res, err := snap.Train(snap.Config{
+		Topology:      snap.CompleteTopology(servers),
+		Model:         model,
+		Partitions:    parts,
+		Test:          test,
+		Alpha:         0.5,
+		Policy:        snap.SNAP,
+		MaxIterations: iterations,
+		Convergence:   noStop,
+		Seed:          5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	central, err := snap.TrainCentralized(snap.BaselineConfig{
+		Model: model, Partitions: parts, Test: test,
+		Alpha: 0.5, MaxIterations: iterations, Convergence: noStop, Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-6s %12s %12s %14s\n", "iter", "snap acc", "central acc", "snap bytes/it")
+	for i := 4; i < iterations; i += 5 {
+		fmt.Printf("%-6d %12.4f %12.4f %14.0f\n",
+			i+1,
+			res.Trace.Stats[i].Accuracy,
+			central.Trace.Stats[i].Accuracy,
+			res.Trace.Stats[i].RoundCost)
+	}
+	fmt.Printf("\nSNAP matched centralized accuracy within %.4f while sending %.0f bytes total.\n",
+		abs(res.FinalAccuracy-central.FinalAccuracy), res.TotalCost)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,3 @@
+module github.com/snapml/snap
+
+go 1.22

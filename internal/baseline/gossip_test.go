@@ -1,0 +1,101 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/snapml/snap/internal/graph"
+	"github.com/snapml/snap/internal/metrics"
+)
+
+func TestGossipValidation(t *testing.T) {
+	m, parts, _ := setup(t, 3, 300, 60)
+	topo := graph.Ring(3)
+	if _, err := RunGossip(GossipConfig{Model: m, Partitions: parts, Alpha: 0.1}); err == nil {
+		t.Error("missing topology accepted")
+	}
+	if _, err := RunGossip(GossipConfig{Topology: topo, Model: m, Partitions: parts[:2], Alpha: 0.1}); err == nil {
+		t.Error("partition mismatch accepted")
+	}
+	if _, err := RunGossip(GossipConfig{Topology: topo, Model: m, Partitions: parts}); err == nil {
+		t.Error("zero alpha accepted")
+	}
+}
+
+func TestGossipLearnsAndSpreadsInformation(t *testing.T) {
+	m, parts, test := setup(t, 8, 3200, 61)
+	topo := graph.RandomConnected(8, 3, rand.New(rand.NewSource(62)))
+	res, err := RunGossip(GossipConfig{
+		Topology: topo, Model: m, Partitions: parts, Test: test,
+		Alpha: 0.1, MaxIterations: 300,
+		Convergence: metrics.ConvergenceDetector{RelTol: 1e-15, Patience: 1 << 30},
+		Seed:        63, EvalEvery: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheme != "gossip" {
+		t.Errorf("scheme = %q", res.Scheme)
+	}
+	if res.FinalAccuracy < 0.8 {
+		t.Errorf("gossip accuracy = %v", res.FinalAccuracy)
+	}
+	// Pairwise meetings really happened and were charged.
+	if res.TotalCost <= 0 {
+		t.Error("no gossip traffic recorded")
+	}
+	// Starting from a shared init, disagreement grows toward the
+	// constant-step plateau but stays bounded well below the parameter
+	// scale (gossip averaging keeps pulling the nodes together).
+	late := res.Trace.Stats[299].Consensus
+	if late > 0.2 {
+		t.Errorf("gossip consensus plateau %v unexpectedly large", late)
+	}
+}
+
+func TestGossipCheaperPerRoundThanDGD(t *testing.T) {
+	// A gossip round moves 2×pairs full vectors; a DGD round moves
+	// 2×|edges|. With pairs ≈ N/2 < |edges| gossip is cheaper per round.
+	m, parts, _ := setup(t, 10, 2000, 64)
+	topo := graph.RandomConnected(10, 4, rand.New(rand.NewSource(65)))
+	noStop := metrics.ConvergenceDetector{RelTol: 1e-15, Patience: 1 << 30}
+	gossip, err := RunGossip(GossipConfig{
+		Topology: topo, Model: m, Partitions: parts,
+		Alpha: 0.1, MaxIterations: 20, Convergence: noStop, Seed: 66,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dgd, err := RunDGD(DGDConfig{
+		Topology: topo, Model: m, Partitions: parts,
+		Alpha: 0.1, MaxIterations: 20, Convergence: noStop, Seed: 66,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gossip.PerRoundCost[5] >= dgd.PerRoundCost[5] {
+		t.Errorf("gossip round cost %v not below DGD %v",
+			gossip.PerRoundCost[5], dgd.PerRoundCost[5])
+	}
+}
+
+func TestGossipPairsAreDisjoint(t *testing.T) {
+	// With PairsPerRound = 1 each round moves exactly 2 frames.
+	m, parts, _ := setup(t, 6, 600, 67)
+	topo := graph.Complete(6)
+	res, err := RunGossip(GossipConfig{
+		Topology: topo, Model: m, Partitions: parts,
+		Alpha: 0.1, MaxIterations: 5, PairsPerRound: 1,
+		Convergence: metrics.ConvergenceDetector{RelTol: 1e-15, Patience: 1 << 30},
+		Seed:        68,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perFrame := res.PerRoundCost[0] / 2
+	for i, c := range res.PerRoundCost {
+		if c != 2*perFrame {
+			t.Errorf("round %d moved %v bytes, want exactly one pair (%v)", i, c, 2*perFrame)
+		}
+	}
+}

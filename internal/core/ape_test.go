@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAPEControllerRequiresAlpha(t *testing.T) {
+	if _, err := NewAPEController(APEConfig{}, 1.0); err == nil {
+		t.Error("alpha=0 accepted")
+	}
+}
+
+func TestAPEControllerInitialThreshold(t *testing.T) {
+	c, err := NewAPEController(APEConfig{Alpha: 0.01}, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T_0 = 0.1 × 2.0 (defaults: fraction 0.1).
+	if got := c.Threshold(); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("T_0 = %v, want 0.2", got)
+	}
+	// maxDelta = T / (I·(1+αG)^I) with I=10 and the default coupling
+	// G = 0.02/α, i.e. αG = 0.02.
+	want := 0.2 / (10 * math.Pow(1.02, 10))
+	if got := c.SendThreshold(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("maxDelta = %v, want %v", got, want)
+	}
+}
+
+func TestAPEControllerStageLastsAtLeastConfiguredIterations(t *testing.T) {
+	c, err := NewAPEController(APEConfig{Alpha: 0.01, StageIterations: 10}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iters := 0
+	for !c.AfterIteration() {
+		iters++
+		if iters > 1000 {
+			t.Fatal("stage never ended")
+		}
+	}
+	iters++ // count the ending iteration
+	if iters < 10 {
+		t.Errorf("stage lasted %d iterations, want ≥ 10", iters)
+	}
+	// With αG = 0.01 the estimate only slightly outpaces the bound; the
+	// stage should end within a few extra iterations, not hundreds.
+	if iters > 30 {
+		t.Errorf("stage lasted %d iterations, expected ≈ 10–15", iters)
+	}
+}
+
+func TestAPEControllerDecaysAndExhausts(t *testing.T) {
+	c, err := NewAPEController(APEConfig{Alpha: 0.01, Epsilon: 1e-3, Decay: 0.5}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T_0 = 0.1; halving reaches < 1e-3 after 7 stage ends.
+	prevT := c.Threshold()
+	stages := 0
+	for !c.Exhausted() {
+		if c.AfterIteration() {
+			stages++
+			if !c.Exhausted() {
+				if got := c.Threshold(); got >= prevT {
+					t.Fatalf("threshold did not decay: %v -> %v", prevT, got)
+				}
+				prevT = c.Threshold()
+			}
+		}
+		if stages > 100 {
+			t.Fatal("controller never exhausted")
+		}
+	}
+	if got := c.Threshold(); got <= 0 || got >= 1e-3 {
+		t.Errorf("exhausted controller threshold = %v, want small positive (< ε)", got)
+	}
+	if got := c.SendThreshold(); got <= 0 || got >= c.Threshold() {
+		t.Errorf("exhausted controller send threshold = %v, want in (0, T)", got)
+	}
+	// Once exhausted, AfterIteration never reports a stage end.
+	if c.AfterIteration() {
+		t.Error("exhausted controller reported stage end")
+	}
+	if stages != 7 {
+		t.Errorf("stages = %d, want 7 (0.1 × 0.5^7 < 1e-3)", stages)
+	}
+}
+
+func TestAPEControllerTinyInitExhaustsImmediately(t *testing.T) {
+	c, err := NewAPEController(APEConfig{Alpha: 0.01}, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Exhausted() {
+		t.Error("near-zero initial params should exhaust the schedule immediately")
+	}
+	if c.SendThreshold() > 1e-9 {
+		t.Errorf("exhausted controller send threshold = %v, want tiny", c.SendThreshold())
+	}
+}
+
+func TestAPEControllerStageCounter(t *testing.T) {
+	c, err := NewAPEController(APEConfig{Alpha: 0.1, G: 1, StageIterations: 2, Epsilon: 1e-12}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stage() != 0 {
+		t.Errorf("initial stage = %d", c.Stage())
+	}
+	for i := 0; i < 500 && c.Stage() < 3; i++ {
+		c.AfterIteration()
+	}
+	if c.Stage() != 3 {
+		t.Errorf("stage = %d after many iterations, want 3", c.Stage())
+	}
+}

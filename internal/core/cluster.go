@@ -1,0 +1,365 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/snapml/snap/internal/codec"
+	"github.com/snapml/snap/internal/dataset"
+	"github.com/snapml/snap/internal/graph"
+	"github.com/snapml/snap/internal/linalg"
+	"github.com/snapml/snap/internal/metrics"
+	"github.com/snapml/snap/internal/model"
+	"github.com/snapml/snap/internal/transport"
+	"github.com/snapml/snap/internal/weights"
+)
+
+// ClusterConfig configures a simulated SNAP training run.
+type ClusterConfig struct {
+	// Topology is the edge-server neighbor graph; it must be connected.
+	Topology *graph.Graph
+	// Model is the shared architecture.
+	Model model.Model
+	// Partitions holds each node's local data (len == Topology.N()).
+	Partitions []*dataset.Dataset
+	// Test is the evaluation set (may be nil to skip accuracy).
+	Test *dataset.Dataset
+	// Alpha is the EXTRA step size.
+	Alpha float64
+	// Policy selects SNAP / SNAP-0 / SNO transmission.
+	Policy SendPolicy
+	// APE configures Algorithm 1 (Policy == SendSelected).
+	APE APEConfig
+	// OptimizeWeights enables the paper's weight-matrix optimization; when
+	// false the Metropolis matrix (eq. 24) is used directly.
+	OptimizeWeights bool
+	// Weights, when non-nil, supplies a precomputed weight matrix and
+	// bypasses both Metropolis construction and optimization (callers that
+	// run several schemes on one topology reuse one optimized matrix).
+	Weights *linalg.Matrix
+	// WeightOpt tunes the optimizer (ignored unless OptimizeWeights).
+	WeightOpt weights.Options
+	// BatchSize limits per-iteration gradients (0 = full batch).
+	BatchSize int
+	// MaxIterations bounds the run. Default 500.
+	MaxIterations int
+	// Convergence configures the stopping rule; zero values use defaults.
+	Convergence metrics.ConvergenceDetector
+	// EvalEvery computes test accuracy every this many rounds (default 1;
+	// set larger for expensive models).
+	EvalEvery int
+	// Seed derives the initial parameters.
+	Seed int64
+	// PerNodeInit gives every node its own random initial parameter
+	// vector (derived from Seed and the node id) instead of a shared one,
+	// as in a real uncoordinated deployment. Round 0 then performs a full
+	// parameter exchange so the selective-diff protocol has a correct
+	// baseline. EXTRA converges from arbitrary initial points, but the
+	// initial disagreement makes network mixing a genuine bottleneck —
+	// the regime the paper's topology-dependent results live in.
+	PerNodeInit bool
+	// FailureRate drops each link per round with this probability
+	// (the Fig. 9 straggler experiments).
+	FailureRate float64
+	// RefreshEvery forces a full-parameter broadcast every that many
+	// rounds (see EngineConfig.RefreshEvery). When zero and FailureRate
+	// is positive it defaults to 10 — selective transmission over lossy
+	// links requires periodic refresh to repair silently dropped frames.
+	RefreshEvery int
+	// Float32Wire transmits parameter values as float32 on the wire
+	// (codec formats 3/4), halving value bytes at ~1e-7 relative rounding
+	// — far below any APE threshold. An extension beyond the paper;
+	// compare with BenchmarkAblationFloat32Wire.
+	Float32Wire bool
+	// RestartEvery restarts the EXTRA recursion every that many rounds
+	// (see EngineConfig.RestartEvery). When zero and FailureRate is
+	// positive it defaults to RefreshEvery, purging the staleness bias
+	// that dropped frames leave in EXTRA's correction history.
+	RestartEvery int
+	// OnIteration, when set, is invoked after every round's compute phase
+	// (before convergence is evaluated) with the just-finished round
+	// index. The experiment harness uses it to record parameter-evolution
+	// statistics (paper Fig. 2). It runs on the driver goroutine; engines
+	// may be inspected but not mutated.
+	OnIteration func(round int, c *Cluster)
+}
+
+func (c ClusterConfig) withDefaults() ClusterConfig {
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 500
+	}
+	if c.RefreshEvery == 0 && c.FailureRate > 0 {
+		c.RefreshEvery = 10
+	}
+	if c.RestartEvery == 0 && c.FailureRate > 0 {
+		// Four refresh periods: long enough for consensus to re-settle
+		// after the restart kick (each restart perturbs node i by
+		// α·∇f_i, which differs across nodes), short enough to bound the
+		// staleness bias accumulating in the correction history.
+		c.RestartEvery = 4 * c.RefreshEvery
+	}
+	if c.EvalEvery <= 0 {
+		c.EvalEvery = 1
+	}
+	return c
+}
+
+// Result summarizes a training run.
+type Result struct {
+	// Scheme names the scheme that produced this result.
+	Scheme string
+	// Iterations is the number of rounds executed (to convergence or the
+	// iteration cap).
+	Iterations int
+	// Converged reports whether the stopping rule fired before the cap.
+	Converged bool
+	// FinalAccuracy is the test accuracy of the average model after the
+	// last round (NaN if no test set).
+	FinalAccuracy float64
+	// FinalLoss is the aggregate objective Σ_i f_i(x_i) after the last
+	// round.
+	FinalLoss float64
+	// TotalCost is the hop-weighted communication cost Σ hops×bytes.
+	TotalCost float64
+	// Trace holds the per-iteration history.
+	Trace metrics.Trace
+	// PerRoundCost is the hop-weighted cost of each round.
+	PerRoundCost []float64
+}
+
+// Cluster drives N EXTRA engines over a simulated network in lockstep
+// rounds, reproducing the paper's simulation setup.
+type Cluster struct {
+	cfg     ClusterConfig
+	net     *transport.Sim
+	engines []*Engine
+	w       *linalg.Matrix
+}
+
+// NewCluster validates the configuration, builds (and optionally
+// optimizes) the weight matrix, and constructs all node engines.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Topology == nil || cfg.Topology.N() == 0 {
+		return nil, errors.New("core: cluster requires a non-empty topology")
+	}
+	if !cfg.Topology.IsConnected() {
+		return nil, errors.New("core: cluster topology must be connected")
+	}
+	n := cfg.Topology.N()
+	if len(cfg.Partitions) != n {
+		return nil, fmt.Errorf("core: %d partitions for %d nodes", len(cfg.Partitions), n)
+	}
+	if cfg.Model == nil {
+		return nil, errors.New("core: cluster requires a model")
+	}
+	if cfg.Alpha <= 0 {
+		return nil, errors.New("core: cluster requires positive Alpha")
+	}
+
+	var w *linalg.Matrix
+	if cfg.Weights != nil {
+		if cfg.Weights.Rows != n || cfg.Weights.Cols != n {
+			return nil, fmt.Errorf("core: supplied weight matrix is %dx%d for %d nodes", cfg.Weights.Rows, cfg.Weights.Cols, n)
+		}
+		if !cfg.Weights.IsSymmetric(1e-9) || !cfg.Weights.IsDoublyStochastic(1e-6) {
+			return nil, errors.New("core: supplied weight matrix must be symmetric doubly stochastic")
+		}
+		w = cfg.Weights
+	} else if cfg.OptimizeWeights {
+		res, err := weights.OptimizeBest(cfg.Topology, weights.BoundParams{Alpha: cfg.Alpha}, cfg.WeightOpt)
+		if err != nil {
+			return nil, fmt.Errorf("core: optimizing weight matrix: %w", err)
+		}
+		w = res.W
+	} else {
+		w = weights.Metropolis(cfg.Topology, 0)
+	}
+
+	net := transport.NewSim(cfg.Topology, nil)
+	if cfg.FailureRate > 0 {
+		net.SetFailures(cfg.FailureRate, cfg.Seed+1)
+	}
+
+	sharedInit := cfg.Model.InitParams(cfg.Seed)
+	engines := make([]*Engine, n)
+	for i := 0; i < n; i++ {
+		init := sharedInit
+		if cfg.PerNodeInit {
+			init = cfg.Model.InitParams(cfg.Seed + int64(i+1)*1_000_003)
+		}
+		eng, err := NewEngine(EngineConfig{
+			ID:             i,
+			Model:          cfg.Model,
+			Data:           cfg.Partitions[i],
+			Alpha:          cfg.Alpha,
+			WRow:           w.Row(i),
+			Neighbors:      cfg.Topology.Neighbors(i),
+			BatchSize:      cfg.BatchSize,
+			Policy:         cfg.Policy,
+			APE:            cfg.APE,
+			RefreshEvery:   cfg.RefreshEvery,
+			RestartEvery:   cfg.RestartEvery,
+			FullSendRound0: cfg.PerNodeInit,
+			Init:           init,
+		})
+		if err != nil {
+			return nil, err
+		}
+		engines[i] = eng
+	}
+	return &Cluster{cfg: cfg, net: net, engines: engines, w: w}, nil
+}
+
+// WeightMatrix returns the weight matrix in use (for inspection/tests).
+func (c *Cluster) WeightMatrix() *linalg.Matrix { return c.w }
+
+// Network returns the simulated network (for inspection/tests).
+func (c *Cluster) Network() *transport.Sim { return c.net }
+
+// Run executes rounds until convergence or the iteration cap and returns
+// the result. It is not safe to call Run twice on the same Cluster.
+func (c *Cluster) Run() (*Result, error) {
+	cfg := c.cfg
+	detector := cfg.Convergence
+
+	res := &Result{Scheme: cfg.Policy.String()}
+	lastAcc := math.NaN()
+
+	for round := 0; round < cfg.MaxIterations; round++ {
+		c.net.BeginRound(round)
+
+		// Phase 1: every node builds and broadcasts its update.
+		if err := c.parallel(func(e *Engine) error {
+			u, err := e.BuildUpdate(round)
+			if err != nil {
+				return err
+			}
+			var frame []byte
+			if c.cfg.Float32Wire {
+				frame, _, err = codec.EncodeLossy(u)
+			} else {
+				frame, _, err = codec.Encode(u)
+			}
+			if err != nil {
+				return err
+			}
+			for _, j := range c.net.Neighbors(e.ID()) {
+				if err := c.net.Send(e.ID(), j, frame); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+
+		// Phase 2: every node integrates what arrived and steps.
+		if err := c.parallel(func(e *Engine) error {
+			inbox := c.net.Collect(e.ID())
+			updates := make([]*codec.Update, 0, len(inbox))
+			for _, frame := range inbox {
+				u, err := codec.Decode(frame)
+				if err != nil {
+					return err
+				}
+				updates = append(updates, u)
+			}
+			if err := e.Integrate(updates); err != nil {
+				return err
+			}
+			e.Step(round)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+
+		if cfg.OnIteration != nil {
+			cfg.OnIteration(round, c)
+		}
+
+		// Phase 3: evaluate.
+		loss := c.aggregateLoss()
+		consensus := c.consensusResidual()
+		acc := math.NaN()
+		if cfg.Test != nil && (round%cfg.EvalEvery == 0 || round == cfg.MaxIterations-1) {
+			acc = model.Accuracy(cfg.Model, c.AverageParams(), cfg.Test)
+			lastAcc = acc
+		}
+		res.Trace.Append(metrics.IterationStat{
+			Round:     round,
+			Loss:      loss,
+			Accuracy:  acc,
+			Consensus: consensus,
+			RoundCost: c.net.Ledger().RoundCost(round),
+		})
+		res.Iterations = round + 1
+
+		if detector.Observe(loss, consensus) {
+			res.Converged = true
+			break
+		}
+	}
+
+	if cfg.Test != nil {
+		lastAcc = model.Accuracy(cfg.Model, c.AverageParams(), cfg.Test)
+	}
+	res.FinalAccuracy = lastAcc
+	res.FinalLoss = c.aggregateLoss()
+	res.TotalCost = c.net.Ledger().Total()
+	res.PerRoundCost = c.net.Ledger().PerRound()
+	return res, nil
+}
+
+// parallel runs f on every engine concurrently and returns the first
+// error.
+func (c *Cluster) parallel(f func(*Engine) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(c.engines))
+	for i, e := range c.engines {
+		wg.Add(1)
+		go func(i int, e *Engine) {
+			defer wg.Done()
+			errs[i] = f(e)
+		}(i, e)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// aggregateLoss returns Σ_i f_i(x_i), the paper's objective (1).
+func (c *Cluster) aggregateLoss() float64 {
+	var total float64
+	for _, e := range c.engines {
+		total += e.LocalLoss()
+	}
+	return total
+}
+
+// consensusResidual returns max_i ||x_i − x̄||∞, the disagreement metric
+// used for the consensus constraint (3).
+func (c *Cluster) consensusResidual() float64 {
+	avg := c.AverageParams()
+	var worst float64
+	for _, e := range c.engines {
+		if d := e.Params().Sub(avg).NormInf(); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// AverageParams returns the across-node mean parameter vector — the model
+// the experiments evaluate accuracy on.
+func (c *Cluster) AverageParams() linalg.Vector {
+	avg := linalg.NewVector(c.engines[0].cfg.Model.NumParams())
+	for _, e := range c.engines {
+		avg.AddInPlace(e.Params())
+	}
+	return avg.Scale(1 / float64(len(c.engines)))
+}
+
+// Engines exposes the node engines (read-only use in tests/experiments).
+func (c *Cluster) Engines() []*Engine { return c.engines }

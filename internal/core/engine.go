@@ -1,0 +1,323 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/snapml/snap/internal/codec"
+	"github.com/snapml/snap/internal/dataset"
+	"github.com/snapml/snap/internal/linalg"
+	"github.com/snapml/snap/internal/model"
+)
+
+// SendPolicy selects what an engine transmits each round.
+type SendPolicy int
+
+const (
+	// SendSelected is full SNAP: withhold parameters whose accumulated
+	// change is below the APE controller's threshold.
+	SendSelected SendPolicy = iota
+	// SendChanged is SNAP-0: send every parameter that changed at all
+	// (APE threshold pinned to zero).
+	SendChanged
+	// SendAll is SNO (select-neighbors-only): transmit the entire
+	// parameter vector every round.
+	SendAll
+)
+
+// String implements fmt.Stringer.
+func (p SendPolicy) String() string {
+	switch p {
+	case SendSelected:
+		return "snap"
+	case SendChanged:
+		return "snap-0"
+	case SendAll:
+		return "sno"
+	default:
+		return fmt.Sprintf("SendPolicy(%d)", int(p))
+	}
+}
+
+// EngineConfig configures one node's EXTRA engine.
+type EngineConfig struct {
+	// ID is this node's index.
+	ID int
+	// Model is the shared model architecture.
+	Model model.Model
+	// Data is this node's local training partition.
+	Data *dataset.Dataset
+	// Alpha is the EXTRA step size α.
+	Alpha float64
+	// WRow is row ID of the weight matrix W: WRow[j] is w_{ID,j}. Only the
+	// diagonal and neighbor entries may be nonzero.
+	WRow linalg.Vector
+	// Neighbors lists the node ids with nonzero off-diagonal weight.
+	Neighbors []int
+	// BatchSize limits the per-iteration gradient batch (0 = full local
+	// data, the deterministic EXTRA setting).
+	BatchSize int
+	// Policy selects the transmission scheme.
+	Policy SendPolicy
+	// APE configures the threshold schedule (used when Policy ==
+	// SendSelected).
+	APE APEConfig
+	// RefreshEvery, when positive, makes the node broadcast its complete
+	// parameter vector every RefreshEvery rounds regardless of Policy.
+	// This is the RIP-style periodic full advertisement the paper's
+	// synchronization model alludes to, and it is what makes selective
+	// transmission safe over lossy links: a dropped frame leaves the
+	// receiver with stale values that the sender (which cannot observe
+	// the drop) would otherwise never retransmit, freezing the cluster
+	// into a permanently disagreeing fixed point.
+	RefreshEvery int
+	// FullSendRound0 forces a complete parameter broadcast in round 0.
+	// Required whenever nodes do not share identical initial parameters:
+	// the selective-diff protocol reconstructs neighbor state against a
+	// baseline, and the only baseline a fresh receiver has is its own
+	// init.
+	FullSendRound0 bool
+	// RestartEvery, when positive, restarts the EXTRA two-term recursion
+	// every that many rounds. Needed alongside RefreshEvery on lossy
+	// links: EXTRA's optimality is carried by its accumulated correction
+	// term Σ(W̃−W)x^t, and rounds computed on stale neighbor views
+	// corrupt that history permanently — the iteration then converges to
+	// a consensual but non-optimal point. A restart discards the
+	// corrupted history and re-converges from the current iterate (EXTRA
+	// converges from any initial point), bounding the staleness bias.
+	RestartEvery int
+	// Init is the node's initial parameter vector (shared by all nodes in
+	// the paper's setup). It is cloned, not aliased.
+	Init linalg.Vector
+}
+
+// Engine is one edge server's training state: the EXTRA two-term recursion
+// over its own parameters plus its view of each neighbor's parameters,
+// fed by selective updates.
+type Engine struct {
+	cfg  EngineConfig
+	wRow linalg.Vector
+
+	x     linalg.Vector // x^{k+1}, the current iterate
+	xPrev linalg.Vector // x^k
+	gPrev linalg.Vector // ∇f_i(x^k)
+	k     int           // EXTRA iteration counter (reset on APE restart)
+
+	neighborCur  map[int]linalg.Vector // view of x_j^{k+1}
+	neighborPrev map[int]linalg.Vector // view of x_j^k
+
+	lastSent linalg.Vector // values the neighbors currently hold for us
+	ape      *APEController
+
+	restarts int
+}
+
+// NewEngine validates cfg and builds the engine.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	p := cfg.Model.NumParams()
+	if len(cfg.Init) != p {
+		return nil, fmt.Errorf("core: node %d init has %d params, model needs %d", cfg.ID, len(cfg.Init), p)
+	}
+	if len(cfg.WRow) <= cfg.ID {
+		return nil, fmt.Errorf("core: node %d weight row has length %d", cfg.ID, len(cfg.WRow))
+	}
+	if cfg.Alpha <= 0 {
+		return nil, fmt.Errorf("core: node %d requires positive Alpha", cfg.ID)
+	}
+	var rowSum float64
+	for _, w := range cfg.WRow {
+		rowSum += w
+	}
+	if math.Abs(rowSum-1) > 1e-6 {
+		return nil, fmt.Errorf("core: node %d weight row sums to %g, want 1", cfg.ID, rowSum)
+	}
+	e := &Engine{
+		cfg:          cfg,
+		wRow:         cfg.WRow.Clone(),
+		x:            cfg.Init.Clone(),
+		lastSent:     cfg.Init.Clone(),
+		neighborCur:  make(map[int]linalg.Vector, len(cfg.Neighbors)),
+		neighborPrev: make(map[int]linalg.Vector, len(cfg.Neighbors)),
+	}
+	for _, j := range cfg.Neighbors {
+		// All nodes share the same initial parameters, so the initial
+		// neighbor view is exact without any round-0 full exchange.
+		e.neighborCur[j] = cfg.Init.Clone()
+		e.neighborPrev[j] = cfg.Init.Clone()
+	}
+	if cfg.Policy == SendSelected {
+		apeCfg := cfg.APE
+		apeCfg.Alpha = cfg.Alpha
+		ctrl, err := NewAPEController(apeCfg, meanAbs(cfg.Init))
+		if err != nil {
+			return nil, fmt.Errorf("core: node %d: %w", cfg.ID, err)
+		}
+		e.ape = ctrl
+	}
+	return e, nil
+}
+
+// ID returns the node id.
+func (e *Engine) ID() int { return e.cfg.ID }
+
+// Params returns the current iterate (not a copy; callers must not
+// modify it).
+func (e *Engine) Params() linalg.Vector { return e.x }
+
+// Restarts returns how many APE stage transitions have restarted the
+// EXTRA recursion.
+func (e *Engine) Restarts() int { return e.restarts }
+
+// LocalLoss evaluates the node's objective f_i at its current iterate over
+// the full local partition.
+func (e *Engine) LocalLoss() float64 {
+	return e.cfg.Model.Loss(e.x, e.cfg.Data.Samples)
+}
+
+// BuildUpdate produces the frame this node broadcasts for the given round,
+// returning the update (before encoding) so callers can account sizes.
+// Per SendPolicy it contains all parameters, all changed parameters, or
+// only those whose accumulated change exceeds the APE threshold.
+func (e *Engine) BuildUpdate(round int) (*codec.Update, error) {
+	policy := e.cfg.Policy
+	if e.cfg.RefreshEvery > 0 && round > 0 && round%e.cfg.RefreshEvery == 0 {
+		policy = SendAll
+	}
+	if e.cfg.FullSendRound0 && round == 0 {
+		policy = SendAll
+	}
+	switch policy {
+	case SendAll:
+		u := &codec.Update{Sender: e.cfg.ID, Round: round, NumParams: len(e.x)}
+		u.Indices = make([]int, len(e.x))
+		u.Values = make([]float64, len(e.x))
+		for i, v := range e.x {
+			u.Indices[i] = i
+			u.Values[i] = v
+		}
+		copy(e.lastSent, e.x)
+		return u, nil
+	case SendChanged:
+		u, err := codec.Diff(e.cfg.ID, round, e.lastSent, e.x, 0)
+		if err != nil {
+			return nil, err
+		}
+		e.markSent(u)
+		return u, nil
+	case SendSelected:
+		u, err := codec.Diff(e.cfg.ID, round, e.lastSent, e.x, e.ape.SendThreshold())
+		if err != nil {
+			return nil, err
+		}
+		e.markSent(u)
+		return u, nil
+	default:
+		return nil, fmt.Errorf("core: node %d has unknown send policy %d", e.cfg.ID, int(e.cfg.Policy))
+	}
+}
+
+func (e *Engine) markSent(u *codec.Update) {
+	for i, idx := range u.Indices {
+		e.lastSent[idx] = u.Values[i]
+	}
+}
+
+// Integrate applies the updates received from neighbors this round. The
+// previous neighbor view becomes the x^k view; missing neighbors (withheld
+// parameters, stragglers, failed links) simply keep their last values —
+// the paper's staleness semantics.
+func (e *Engine) Integrate(updates []*codec.Update) error {
+	for j, cur := range e.neighborCur {
+		copy(e.neighborPrev[j], cur)
+	}
+	for _, u := range updates {
+		view, ok := e.neighborCur[u.Sender]
+		if !ok {
+			return fmt.Errorf("core: node %d received update from non-neighbor %d", e.cfg.ID, u.Sender)
+		}
+		if err := codec.Apply(view, u); err != nil {
+			return fmt.Errorf("core: node %d integrating from %d: %w", e.cfg.ID, u.Sender, err)
+		}
+	}
+	return nil
+}
+
+// Step advances the EXTRA recursion one iteration using the current
+// neighbor views, returning the new iterate. round selects the gradient
+// mini-batch when BatchSize > 0.
+func (e *Engine) Step(round int) linalg.Vector {
+	batch := e.cfg.Data.Samples
+	if e.cfg.BatchSize > 0 {
+		batch = e.cfg.Data.Batch(round, e.cfg.BatchSize)
+	}
+	grad := e.cfg.Model.Gradient(e.x, batch)
+
+	// mix = Σ_j w_ij·x_j^{k+1} (including the self term). Neighbors are
+	// visited in sorted order so float summation is deterministic.
+	mix := e.x.Scale(e.wRow[e.cfg.ID])
+	for _, j := range e.cfg.Neighbors {
+		mix.AXPYInPlace(e.wRow[j], e.neighborCur[j])
+	}
+
+	var next linalg.Vector
+	if e.k == 0 {
+		// x^1 = W·x^0 − α∇f(x^0).
+		next = mix.AXPYInPlace(-e.cfg.Alpha, grad)
+	} else {
+		// x^{k+2} = x^{k+1} + W·x^{k+1} − W̃·x^k − α(∇f(x^{k+1}) − ∇f(x^k))
+		// with W̃ = (W+I)/2, so the W̃ row is w_ij/2 off-diagonal and
+		// (w_ii+1)/2 on the diagonal.
+		next = e.x.Add(mix)
+		next.AXPYInPlace(-(e.wRow[e.cfg.ID]+1)/2, e.xPrev)
+		for _, j := range e.cfg.Neighbors {
+			next.AXPYInPlace(-e.wRow[j]/2, e.neighborPrev[j])
+		}
+		next.AXPYInPlace(-e.cfg.Alpha, grad)
+		next.AXPYInPlace(e.cfg.Alpha, e.gPrev)
+	}
+
+	e.xPrev = e.x
+	e.gPrev = grad
+	e.x = next
+	e.k++
+
+	if e.ape != nil && e.ape.AfterIteration() && e.cfg.APE.RestartRecursion {
+		// Stage ended and the literal Algorithm-1 reading is requested:
+		// restart the recursion from the current solution.
+		e.restartRecursion()
+	}
+	if e.cfg.RestartEvery > 0 && round > 0 && round%e.cfg.RestartEvery == 0 {
+		e.restartRecursion()
+	}
+	return e.x
+}
+
+// restartRecursion resets the EXTRA two-term recursion so the next Step
+// applies the k=0 equation from the current iterate.
+func (e *Engine) restartRecursion() {
+	e.k = 0
+	e.xPrev = nil
+	e.gPrev = nil
+	e.restarts++
+}
+
+// APEStage returns the APE controller's stage, threshold and send
+// threshold for observability; it returns zeros when the policy has no
+// controller.
+func (e *Engine) APEStage() (stage int, threshold, sendThreshold float64) {
+	if e.ape == nil {
+		return 0, 0, 0
+	}
+	return e.ape.Stage(), e.ape.Threshold(), e.ape.SendThreshold()
+}
+
+func meanAbs(v linalg.Vector) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	return s / float64(len(v))
+}

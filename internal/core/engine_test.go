@@ -1,0 +1,311 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/snapml/snap/internal/codec"
+	"github.com/snapml/snap/internal/dataset"
+	"github.com/snapml/snap/internal/graph"
+	"github.com/snapml/snap/internal/linalg"
+	"github.com/snapml/snap/internal/model"
+	"github.com/snapml/snap/internal/weights"
+)
+
+func smallPartitions(t *testing.T, n, samplesPer int, seed int64) (*dataset.Dataset, []*dataset.Dataset) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ds := dataset.SyntheticCredit(dataset.CreditConfig{Samples: n * samplesPer, Features: 8}, rng)
+	parts, err := ds.Partition(n, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, parts
+}
+
+func newTestEngine(t *testing.T, policy SendPolicy) *Engine {
+	t.Helper()
+	_, parts := smallPartitions(t, 3, 30, 1)
+	g := graph.Complete(3)
+	w := weights.Metropolis(g, 0)
+	m := model.NewLogisticRegression(8)
+	eng, err := NewEngine(EngineConfig{
+		ID:        0,
+		Model:     m,
+		Data:      parts[0],
+		Alpha:     0.05,
+		WRow:      w.Row(0),
+		Neighbors: g.Neighbors(0),
+		Policy:    policy,
+		Init:      m.InitParams(7),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	_, parts := smallPartitions(t, 3, 10, 2)
+	g := graph.Complete(3)
+	w := weights.Metropolis(g, 0)
+	m := model.NewLogisticRegression(8)
+	base := EngineConfig{
+		ID: 0, Model: m, Data: parts[0], Alpha: 0.05,
+		WRow: w.Row(0), Neighbors: g.Neighbors(0), Init: m.InitParams(1),
+	}
+
+	bad := base
+	bad.Init = linalg.NewVector(3)
+	if _, err := NewEngine(bad); err == nil {
+		t.Error("wrong init length accepted")
+	}
+
+	bad = base
+	bad.Alpha = 0
+	if _, err := NewEngine(bad); err == nil {
+		t.Error("zero alpha accepted")
+	}
+
+	bad = base
+	bad.WRow = linalg.Vector{0.3, 0.3, 0.3} // sums to 0.9
+	if _, err := NewEngine(bad); err == nil {
+		t.Error("non-stochastic weight row accepted")
+	}
+
+	bad = base
+	bad.WRow = linalg.NewVector(0)
+	if _, err := NewEngine(bad); err == nil {
+		t.Error("short weight row accepted")
+	}
+}
+
+func TestBuildUpdatePolicies(t *testing.T) {
+	// With shared init and no steps yet, SNAP-0 and SNAP send nothing,
+	// SNO sends everything.
+	all := newTestEngine(t, SendAll)
+	u, err := all.BuildUpdate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Indices) != all.cfg.Model.NumParams() {
+		t.Errorf("SNO sent %d params, want all %d", len(u.Indices), all.cfg.Model.NumParams())
+	}
+
+	changed := newTestEngine(t, SendChanged)
+	u, err = changed.BuildUpdate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Indices) != 0 {
+		t.Errorf("SNAP-0 sent %d params before any step, want 0", len(u.Indices))
+	}
+
+	selected := newTestEngine(t, SendSelected)
+	u, err = selected.BuildUpdate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Indices) != 0 {
+		t.Errorf("SNAP sent %d params before any step, want 0", len(u.Indices))
+	}
+}
+
+func TestBuildUpdateAfterStepRespectsThreshold(t *testing.T) {
+	eng := newTestEngine(t, SendSelected)
+	eng.Step(0)
+	u, err := eng.BuildUpdate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every transmitted parameter moved more than the send threshold; no
+	// untransmitted parameter accumulated beyond it.
+	_, _, sendThreshold := eng.APEStage()
+	sent := make(map[int]bool)
+	for _, idx := range u.Indices {
+		sent[idx] = true
+	}
+	for idx := range eng.x {
+		delta := math.Abs(eng.x[idx] - eng.lastSent[idx])
+		if sent[idx] && delta != 0 {
+			t.Errorf("param %d transmitted but lastSent not updated", idx)
+		}
+		if !sent[idx] && delta > sendThreshold {
+			t.Errorf("param %d withheld with delta %v > threshold %v", idx, delta, sendThreshold)
+		}
+	}
+}
+
+func TestIntegrateRejectsNonNeighbor(t *testing.T) {
+	eng := newTestEngine(t, SendAll)
+	u := &codec.Update{Sender: 99, NumParams: eng.cfg.Model.NumParams()}
+	if err := eng.Integrate([]*codec.Update{u}); err == nil {
+		t.Error("update from non-neighbor accepted")
+	}
+}
+
+func TestIntegrateShiftsPrevView(t *testing.T) {
+	eng := newTestEngine(t, SendAll)
+	p := eng.cfg.Model.NumParams()
+	u := &codec.Update{Sender: 1, NumParams: p, Indices: []int{0}, Values: []float64{42}}
+	if err := eng.Integrate([]*codec.Update{u}); err != nil {
+		t.Fatal(err)
+	}
+	if eng.neighborCur[1][0] != 42 {
+		t.Errorf("neighborCur not updated: %v", eng.neighborCur[1][0])
+	}
+	if eng.neighborPrev[1][0] == 42 {
+		t.Error("neighborPrev advanced to the new value too early")
+	}
+	// Second integrate: prev must now see 42.
+	if err := eng.Integrate(nil); err != nil {
+		t.Fatal(err)
+	}
+	if eng.neighborPrev[1][0] != 42 {
+		t.Errorf("neighborPrev = %v after shift, want 42", eng.neighborPrev[1][0])
+	}
+}
+
+// TestEngineMatchesMatrixEXTRA verifies the distributed per-node recursion
+// (paper eq. 8) against the centralized matrix form (paper eq. 6), running
+// a 4-node ring with full information exchange.
+func TestEngineMatchesMatrixEXTRA(t *testing.T) {
+	const (
+		n     = 4
+		alpha = 0.05
+		iters = 12
+	)
+	_, parts := smallPartitions(t, n, 25, 3)
+	g := graph.Ring(n)
+	w := weights.Metropolis(g, 0)
+	m := model.NewLogisticRegression(8)
+	p := m.NumParams()
+	init := m.InitParams(11)
+
+	// Distributed engines with SendAll (full exchange).
+	engines := make([]*Engine, n)
+	for i := 0; i < n; i++ {
+		eng, err := NewEngine(EngineConfig{
+			ID: i, Model: m, Data: parts[i], Alpha: alpha,
+			WRow: w.Row(i), Neighbors: g.Neighbors(i),
+			Policy: SendAll, Init: init,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[i] = eng
+	}
+
+	// Matrix reference: rows of x are per-node iterates.
+	grad := func(x *linalg.Matrix) *linalg.Matrix {
+		out := linalg.NewMatrix(n, p)
+		for i := 0; i < n; i++ {
+			gi := m.Gradient(x.Row(i), parts[i].Samples)
+			for j := 0; j < p; j++ {
+				out.Set(i, j, gi[j])
+			}
+		}
+		return out
+	}
+	xPrev := linalg.NewMatrix(n, p)
+	for i := 0; i < n; i++ {
+		for j := 0; j < p; j++ {
+			xPrev.Set(i, j, init[j])
+		}
+	}
+	wTilde := w.Add(linalg.Identity(n)).Scale(0.5)
+	gPrev := grad(xPrev)
+	xCur := w.Mul(xPrev).Sub(gPrev.Scale(alpha)) // x¹
+
+	runRound := func(round int) {
+		// Broadcast full params, then integrate and step.
+		frames := make([]*codec.Update, n)
+		for i, e := range engines {
+			u, err := e.BuildUpdate(round)
+			if err != nil {
+				t.Fatal(err)
+			}
+			frames[i] = u
+		}
+		for i, e := range engines {
+			var inbox []*codec.Update
+			for _, j := range g.Neighbors(i) {
+				inbox = append(inbox, frames[j])
+			}
+			if err := e.Integrate(inbox); err != nil {
+				t.Fatal(err)
+			}
+			e.Step(round)
+		}
+	}
+
+	runRound(0) // engines now hold x¹
+	for i := 0; i < n; i++ {
+		if !engines[i].Params().Equal(xCur.Row(i), 1e-10) {
+			t.Fatalf("x¹ mismatch at node %d", i)
+		}
+	}
+
+	for k := 1; k < iters; k++ {
+		runRound(k)
+		gCur := grad(xCur)
+		xNext := xCur.Add(w.Mul(xCur)).Sub(wTilde.Mul(xPrev)).
+			Sub(gCur.Sub(gPrev).Scale(alpha))
+		xPrev, xCur, gPrev = xCur, xNext, gCur
+		for i := 0; i < n; i++ {
+			if !engines[i].Params().Equal(xCur.Row(i), 1e-8) {
+				t.Fatalf("iteration %d: node %d diverged from matrix EXTRA (max diff %v)",
+					k+1, i, engines[i].Params().Sub(xCur.Row(i)).NormInf())
+			}
+		}
+	}
+}
+
+func TestSendPolicyString(t *testing.T) {
+	if SendSelected.String() != "snap" || SendChanged.String() != "snap-0" || SendAll.String() != "sno" {
+		t.Error("policy names wrong")
+	}
+	if SendPolicy(42).String() != "SendPolicy(42)" {
+		t.Errorf("unknown policy = %q", SendPolicy(42).String())
+	}
+}
+
+func TestEngineAPEStageAdvances(t *testing.T) {
+	eng := newTestEngine(t, SendSelected)
+	// Drive enough iterations to cross at least one APE stage; with the
+	// default (no recursion restart) the stage advances but the recursion
+	// keeps running.
+	for round := 0; round < 40; round++ {
+		eng.Step(round)
+	}
+	if stage, _, _ := eng.APEStage(); stage == 0 {
+		t.Error("APE schedule never advanced in 40 iterations")
+	}
+	if eng.Restarts() != 0 {
+		t.Errorf("recursion restarted %d times with RestartRecursion off", eng.Restarts())
+	}
+}
+
+func TestEngineRestartsWhenRequested(t *testing.T) {
+	_, parts := smallPartitions(t, 3, 30, 1)
+	g := graph.Complete(3)
+	w := weights.Metropolis(g, 0)
+	m := model.NewLogisticRegression(8)
+	eng, err := NewEngine(EngineConfig{
+		ID: 0, Model: m, Data: parts[0], Alpha: 0.05,
+		WRow: w.Row(0), Neighbors: g.Neighbors(0),
+		Policy: SendSelected,
+		APE:    APEConfig{RestartRecursion: true},
+		Init:   m.InitParams(7),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 40; round++ {
+		eng.Step(round)
+	}
+	if eng.Restarts() == 0 {
+		t.Error("no EXTRA restart after 40 iterations with RestartRecursion on")
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/snapml/snap/internal/codec"
+	"github.com/snapml/snap/internal/metrics"
+	"github.com/snapml/snap/internal/transport"
+)
+
+// PeerNodeConfig configures one real TCP edge server (the paper's testbed
+// mode: each node is a process exchanging frames over sockets).
+type PeerNodeConfig struct {
+	// Engine configures the local EXTRA engine. Engine.Neighbors must
+	// match the keys of NeighborAddrs.
+	Engine EngineConfig
+	// ListenAddr is this node's TCP listen address (e.g. "127.0.0.1:0").
+	ListenAddr string
+	// RoundTimeout bounds how long a round waits for straggler neighbors
+	// before proceeding with whatever arrived (default 5s).
+	RoundTimeout time.Duration
+	// ConnectTimeout bounds cluster formation (default 10s).
+	ConnectTimeout time.Duration
+}
+
+// PeerNode runs a SNAP engine over a real TCP transport. Synchronization
+// follows the paper's RIP-like model: every round the node broadcasts its
+// selected parameters, then waits (bounded by RoundTimeout) for the
+// round's frame from each neighbor; missing neighbors are treated as
+// stragglers and their last-known parameters are reused.
+type PeerNode struct {
+	cfg    PeerNodeConfig
+	engine *Engine
+	peer   *transport.Peer
+}
+
+// NewPeerNode builds the engine and starts listening. Call Connect before
+// Run.
+func NewPeerNode(cfg PeerNodeConfig) (*PeerNode, error) {
+	if cfg.RoundTimeout <= 0 {
+		cfg.RoundTimeout = 5 * time.Second
+	}
+	if cfg.ConnectTimeout <= 0 {
+		cfg.ConnectTimeout = 10 * time.Second
+	}
+	eng, err := NewEngine(cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	peer, err := transport.NewPeer(cfg.Engine.ID, cfg.ListenAddr)
+	if err != nil {
+		return nil, err
+	}
+	return &PeerNode{cfg: cfg, engine: eng, peer: peer}, nil
+}
+
+// Addr returns the node's actual listen address (useful with port 0).
+func (pn *PeerNode) Addr() string { return pn.peer.Addr() }
+
+// Engine exposes the local engine (for evaluation after training).
+func (pn *PeerNode) Engine() *Engine { return pn.engine }
+
+// BytesSent reports the payload bytes this node wrote to its sockets —
+// the testbed measurement the paper reports in Fig. 4.
+func (pn *PeerNode) BytesSent() int64 { return pn.peer.BytesSent() }
+
+// Connect establishes connections to the given neighbors (node id →
+// listen address). It is a separate step from construction so clusters on
+// ephemeral ports can start all listeners first and exchange addresses
+// afterwards.
+func (pn *PeerNode) Connect(neighborAddrs map[int]string) error {
+	return pn.peer.Connect(neighborAddrs, pn.cfg.ConnectTimeout)
+}
+
+// Run executes the given number of rounds and returns the per-iteration
+// trace (loss is this node's local objective; global metrics are the
+// caller's concern since no single node sees the whole cluster).
+func (pn *PeerNode) Run(rounds int) (*metrics.Trace, error) {
+	trace := &metrics.Trace{}
+	for round := 0; round < rounds; round++ {
+		u, err := pn.engine.BuildUpdate(round)
+		if err != nil {
+			return trace, err
+		}
+		frame, _, err := codec.Encode(u)
+		if err != nil {
+			return trace, err
+		}
+		if err := pn.peer.Broadcast(round, frame); err != nil {
+			return trace, fmt.Errorf("core: node %d broadcast round %d: %w", pn.engine.ID(), round, err)
+		}
+
+		inbox := pn.peer.Gather(round, pn.cfg.RoundTimeout)
+		updates := make([]*codec.Update, 0, len(inbox))
+		for _, f := range inbox {
+			dec, err := codec.Decode(f)
+			if err != nil {
+				return trace, fmt.Errorf("core: node %d decoding round %d: %w", pn.engine.ID(), round, err)
+			}
+			updates = append(updates, dec)
+		}
+		if err := pn.engine.Integrate(updates); err != nil {
+			return trace, err
+		}
+		pn.engine.Step(round)
+		pn.peer.ForgetRound(round)
+
+		trace.Append(metrics.IterationStat{
+			Round: round,
+			Loss:  pn.engine.LocalLoss(),
+		})
+	}
+	return trace, nil
+}
+
+// Close shuts down the transport.
+func (pn *PeerNode) Close() error { return pn.peer.Close() }

@@ -1,0 +1,117 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPartitionNonIIDCoversAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	train, _ := SyntheticDigits(DigitsConfig{Train: 600, Test: 10, Side: 8}, rng)
+	parts, err := train.PartitionNonIID(6, 0.3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i, p := range parts {
+		if p.Len() == 0 {
+			t.Errorf("partition %d empty", i)
+		}
+		total += p.Len()
+	}
+	if total != train.Len() {
+		t.Errorf("partitions hold %d samples, want %d", total, train.Len())
+	}
+}
+
+// TestPartitionNonIIDSkewsLabels verifies small alpha yields strongly
+// skewed shards and large alpha approaches uniform.
+func TestPartitionNonIIDSkewsLabels(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	train, _ := SyntheticDigits(DigitsConfig{Train: 4000, Test: 10, Side: 8}, rng)
+
+	skewOf := func(alpha float64) float64 {
+		parts, err := train.PartitionNonIID(8, alpha, rand.New(rand.NewSource(3)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Average max-class share per partition: 0.1 for uniform 10-class,
+		// →1 for single-class shards.
+		var total float64
+		for _, p := range parts {
+			counts := make([]int, 10)
+			for _, s := range p.Samples {
+				counts[s.Label]++
+			}
+			maxC := 0
+			for _, c := range counts {
+				if c > maxC {
+					maxC = c
+				}
+			}
+			total += float64(maxC) / float64(p.Len())
+		}
+		return total / float64(len(parts))
+	}
+
+	skewed := skewOf(0.1)
+	uniform := skewOf(100)
+	if skewed < uniform+0.15 {
+		t.Errorf("alpha=0.1 skew %v not clearly above alpha=100 skew %v", skewed, uniform)
+	}
+	if uniform > 0.35 {
+		t.Errorf("alpha=100 max-class share %v, want near the IID 0.1-0.2 range", uniform)
+	}
+}
+
+func TestPartitionNonIIDValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ds := SyntheticCredit(CreditConfig{Samples: 20}, rng)
+	if _, err := ds.PartitionNonIID(0, 0.5, rng); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := ds.PartitionNonIID(30, 0.5, rng); err == nil {
+		t.Error("n > samples accepted")
+	}
+	if _, err := ds.PartitionNonIID(4, 0, rng); err == nil {
+		t.Error("alpha=0 accepted")
+	}
+}
+
+func TestDirichletSumsToOne(t *testing.T) {
+	f := func(seed int64, nRaw, aRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%20
+		alpha := 0.05 + float64(aRaw)/32
+		p := dirichlet(n, alpha, rng)
+		var sum float64
+		for _, v := range p {
+			if v < 0 || math.IsNaN(v) {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGammaSampleMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, shape := range []float64{0.3, 1, 2.5} {
+		const trials = 50000
+		var sum float64
+		for i := 0; i < trials; i++ {
+			sum += gammaSample(shape, rng)
+		}
+		mean := sum / trials
+		// E[Gamma(a,1)] = a.
+		if math.Abs(mean-shape) > 0.05*shape+0.02 {
+			t.Errorf("Gamma(%g) sample mean = %v, want %v", shape, mean, shape)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"github.com/snapml/snap/internal/codec"
+	"github.com/snapml/snap/internal/metrics"
+)
+
+// Frames reproduces the §IV-C frame-format analysis: payload bytes of the
+// two wire formats as a function of the withheld-parameter count M, for
+// the paper's two model sizes (24-parameter SVM and 23,860-parameter MLP,
+// scaled axis). The crossover sits exactly at N = 2M+1.
+func Frames(opt Options) (*FigResult, error) {
+	mk := func(n int, title string) *metrics.Table {
+		points := 13
+		tab := &metrics.Table{
+			Title:  title,
+			XLabel: "withheld parameters M",
+			YLabel: "payload bytes",
+		}
+		f1 := make([]float64, 0, points)
+		f2 := make([]float64, 0, points)
+		chosen := make([]float64, 0, points)
+		for i := 0; i < points; i++ {
+			m := i * n / (points - 1)
+			if m > n {
+				m = n
+			}
+			tab.X = append(tab.X, float64(m))
+			f1 = append(f1, float64(codec.PayloadBytes(n, m, codec.FormatUnchangedList)))
+			f2 = append(f2, float64(codec.PayloadBytes(n, m, codec.FormatIndexValue)))
+			chosen = append(chosen, float64(codec.PayloadBytes(n, m, codec.ChooseFormat(n, m))))
+		}
+		mustAdd(tab, "format1(unchanged-list)", f1)
+		mustAdd(tab, "format2(index-value)", f2)
+		mustAdd(tab, "chosen", chosen)
+		return tab
+	}
+	return &FigResult{
+		ID: "frames",
+		Tables: []*metrics.Table{
+			mk(24, "Frame payload vs withheld count, N=24 (SVM model)"),
+			mk(23860, "Frame payload vs withheld count, N=23860 (784-30-10 MLP)"),
+		},
+		Notes: []string{
+			"format 1 costs 4+8N−4M bytes, format 2 costs 12(N−M); the chosen format switches at N = 2M+1 (paper §IV-C).",
+		},
+	}, nil
+}

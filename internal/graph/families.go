@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// SmallWorld generates a connected Watts-Strogatz small-world graph: a
+// ring lattice where every vertex connects to its k nearest neighbors
+// (k rounded up to even), with each edge rewired to a random endpoint
+// with probability beta. beta=0 is the pure lattice, beta=1 approaches a
+// random graph; intermediate values give the high-clustering /
+// short-diameter regime typical of real edge deployments.
+//
+// Rewiring never disconnects the graph: a rewire that would is skipped.
+func SmallWorld(n, k int, beta float64, rng *rand.Rand) *Graph {
+	g := New(n)
+	if n < 2 {
+		return g
+	}
+	if k < 2 {
+		k = 2
+	}
+	if k%2 == 1 {
+		k++
+	}
+	if k >= n {
+		k = n - 1
+		if k%2 == 1 {
+			k--
+		}
+	}
+	// Ring lattice.
+	for i := 0; i < n; i++ {
+		for j := 1; j <= k/2; j++ {
+			g.AddEdge(i, (i+j)%n)
+		}
+	}
+	if beta <= 0 {
+		return g
+	}
+	// Rewire each lattice edge's far endpoint with probability beta.
+	for i := 0; i < n; i++ {
+		for j := 1; j <= k/2; j++ {
+			if rng.Float64() >= beta {
+				continue
+			}
+			old := (i + j) % n
+			if !g.HasEdge(i, old) {
+				continue
+			}
+			target := rng.Intn(n)
+			if target == i || g.HasEdge(i, target) {
+				continue
+			}
+			g.RemoveEdge(i, old)
+			if !g.IsConnected() {
+				g.AddEdge(i, old) // rewire would disconnect: keep the lattice edge
+				continue
+			}
+			g.AddEdge(i, target)
+		}
+	}
+	return g
+}
+
+// ScaleFree generates a Barabási-Albert preferential-attachment graph:
+// starting from a small clique, each new vertex attaches m edges to
+// existing vertices with probability proportional to their degree. The
+// result is connected with a heavy-tailed degree distribution — a few
+// well-connected "aggregation" edge servers and many leaves.
+func ScaleFree(n, m int, rng *rand.Rand) *Graph {
+	g := New(n)
+	if n < 2 {
+		return g
+	}
+	if m < 1 {
+		m = 1
+	}
+	if m >= n {
+		m = n - 1
+	}
+	// Seed clique of m+1 vertices.
+	seed := m + 1
+	if seed > n {
+		seed = n
+	}
+	for i := 0; i < seed; i++ {
+		for j := i + 1; j < seed; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	// repeated holds every edge endpoint twice over; sampling uniformly
+	// from it is degree-proportional sampling.
+	var repeated []int
+	for _, e := range g.Edges() {
+		repeated = append(repeated, e.U, e.V)
+	}
+	for v := seed; v < n; v++ {
+		attached := make(map[int]bool, m)
+		for len(attached) < m {
+			var target int
+			if len(repeated) == 0 {
+				target = rng.Intn(v)
+			} else {
+				target = repeated[rng.Intn(len(repeated))]
+			}
+			if target == v || attached[target] {
+				continue
+			}
+			attached[target] = true
+		}
+		for target := range attached {
+			g.AddEdge(v, target)
+			repeated = append(repeated, v, target)
+		}
+	}
+	return g
+}
+
+// ClusteringCoefficient returns the average local clustering coefficient:
+// for each vertex, the fraction of its neighbor pairs that are themselves
+// connected, averaged over vertices with degree ≥ 2 (0 if none).
+func (g *Graph) ClusteringCoefficient() float64 {
+	var total float64
+	counted := 0
+	for v := 0; v < g.n; v++ {
+		nbrs := g.Neighbors(v)
+		d := len(nbrs)
+		if d < 2 {
+			continue
+		}
+		links := 0
+		for i := 0; i < d; i++ {
+			for j := i + 1; j < d; j++ {
+				if g.HasEdge(nbrs[i], nbrs[j]) {
+					links++
+				}
+			}
+		}
+		total += 2 * float64(links) / float64(d*(d-1))
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}
+
+// DegreeHistogram returns the sorted list of vertex degrees.
+func (g *Graph) DegreeHistogram() []int {
+	out := make([]int, g.n)
+	for v := 0; v < g.n; v++ {
+		out[v] = g.Degree(v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MaxDegree returns the largest vertex degree (0 for an empty graph).
+func (g *Graph) MaxDegree() int {
+	best := 0
+	for v := 0; v < g.n; v++ {
+		if d := g.Degree(v); d > best {
+			best = d
+		}
+	}
+	return best
+}

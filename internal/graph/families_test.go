@@ -1,0 +1,151 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSmallWorldLattice(t *testing.T) {
+	// beta=0: pure ring lattice, every vertex has degree k.
+	g := SmallWorld(20, 4, 0, rand.New(rand.NewSource(1)))
+	for v := 0; v < 20; v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("lattice degree(%d) = %d, want 4", v, g.Degree(v))
+		}
+	}
+	if !g.IsConnected() {
+		t.Error("lattice disconnected")
+	}
+	// Ring lattices cluster heavily.
+	if cc := g.ClusteringCoefficient(); cc < 0.4 {
+		t.Errorf("lattice clustering %v, want ≥ 0.4", cc)
+	}
+}
+
+func TestSmallWorldRewiringShrinksDiameter(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	lattice := SmallWorld(60, 4, 0, rng)
+	rewired := SmallWorld(60, 4, 0.3, rand.New(rand.NewSource(3)))
+	if !rewired.IsConnected() {
+		t.Fatal("rewired graph disconnected")
+	}
+	if rewired.Diameter() >= lattice.Diameter() {
+		t.Errorf("rewiring did not shrink diameter: %d vs %d",
+			rewired.Diameter(), lattice.Diameter())
+	}
+}
+
+func TestSmallWorldOddKAndCaps(t *testing.T) {
+	// k is rounded up to even and capped below n.
+	g := SmallWorld(6, 3, 0, rand.New(rand.NewSource(4)))
+	for v := 0; v < 6; v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("degree(%d) = %d, want 4 (k rounded to even)", v, g.Degree(v))
+		}
+	}
+	big := SmallWorld(5, 10, 0, rand.New(rand.NewSource(5)))
+	if !big.IsConnected() {
+		t.Error("capped-k graph disconnected")
+	}
+	if tiny := SmallWorld(1, 2, 0.5, rand.New(rand.NewSource(6))); tiny.N() != 1 {
+		t.Error("n=1 small world wrong")
+	}
+}
+
+// Property: small-world graphs stay connected for any beta.
+func TestSmallWorldAlwaysConnected(t *testing.T) {
+	f := func(seed int64, nRaw, betaRaw uint8) bool {
+		n := 4 + int(nRaw)%40
+		beta := float64(betaRaw) / 255
+		g := SmallWorld(n, 4, beta, rand.New(rand.NewSource(seed)))
+		return g.IsConnected()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScaleFreeBasics(t *testing.T) {
+	g := ScaleFree(100, 2, rand.New(rand.NewSource(7)))
+	if !g.IsConnected() {
+		t.Fatal("scale-free graph disconnected")
+	}
+	// |E| = clique(3) + 2 per remaining vertex = 3 + 2·97.
+	if got, want := g.NumEdges(), 3+2*97; got != want {
+		t.Errorf("edges = %d, want %d", got, want)
+	}
+	// Heavy tail: the max degree dwarfs the median.
+	hist := g.DegreeHistogram()
+	median := hist[len(hist)/2]
+	if g.MaxDegree() < 3*median {
+		t.Errorf("max degree %d vs median %d — no heavy tail", g.MaxDegree(), median)
+	}
+}
+
+func TestScaleFreeEdgeCases(t *testing.T) {
+	if g := ScaleFree(1, 2, rand.New(rand.NewSource(8))); g.N() != 1 {
+		t.Error("n=1 wrong")
+	}
+	// m capped at n-1.
+	g := ScaleFree(4, 10, rand.New(rand.NewSource(9)))
+	if !g.IsConnected() {
+		t.Error("capped-m graph disconnected")
+	}
+	// m < 1 promoted to 1: still a connected tree-ish graph.
+	g2 := ScaleFree(30, 0, rand.New(rand.NewSource(10)))
+	if !g2.IsConnected() {
+		t.Error("m=0 graph disconnected")
+	}
+}
+
+// Property: scale-free graphs are always connected.
+func TestScaleFreeAlwaysConnected(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		n := 2 + int(nRaw)%60
+		m := 1 + int(mRaw)%4
+		return ScaleFree(n, m, rand.New(rand.NewSource(seed))).IsConnected()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClusteringCoefficientKnownValues(t *testing.T) {
+	// Complete graph: clustering 1.
+	if cc := Complete(5).ClusteringCoefficient(); cc != 1 {
+		t.Errorf("K5 clustering = %v, want 1", cc)
+	}
+	// Star: hub's neighbors are never connected → 0.
+	if cc := Star(6).ClusteringCoefficient(); cc != 0 {
+		t.Errorf("star clustering = %v, want 0", cc)
+	}
+	// Ring (degree 2): neighbor pairs not adjacent for n > 3 → 0.
+	if cc := Ring(6).ClusteringCoefficient(); cc != 0 {
+		t.Errorf("C6 clustering = %v, want 0", cc)
+	}
+	// Triangle: 1.
+	if cc := Ring(3).ClusteringCoefficient(); cc != 1 {
+		t.Errorf("C3 clustering = %v, want 1", cc)
+	}
+	// No vertex with degree ≥ 2 → 0.
+	g := New(3)
+	g.AddEdge(0, 1)
+	if cc := g.ClusteringCoefficient(); cc != 0 {
+		t.Errorf("path clustering = %v, want 0", cc)
+	}
+}
+
+func TestDegreeHistogramSorted(t *testing.T) {
+	g := Star(5)
+	hist := g.DegreeHistogram()
+	want := []int{1, 1, 1, 1, 4}
+	for i := range want {
+		if hist[i] != want[i] {
+			t.Fatalf("histogram = %v, want %v", hist, want)
+		}
+	}
+	if g.MaxDegree() != 4 {
+		t.Errorf("MaxDegree = %d", g.MaxDegree())
+	}
+}

@@ -1,0 +1,177 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdentity(t *testing.T) {
+	m := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if m.At(i, j) != want {
+				t.Errorf("I(3)[%d][%d] = %v, want %v", i, j, m.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestMatrixFromRowsRagged(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ragged MatrixFromRows did not panic")
+		}
+	}()
+	MatrixFromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestMatrixMul(t *testing.T) {
+	a := MatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	b := MatrixFromRows([][]float64{{5, 6}, {7, 8}})
+	got := a.Mul(b)
+	want := MatrixFromRows([][]float64{{19, 22}, {43, 50}})
+	if got.Sub(want).MaxAbs() > 0 {
+		t.Errorf("Mul =\n%v want\n%v", got, want)
+	}
+}
+
+func TestMatrixMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewMatrix(4, 4)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	if got := a.Mul(Identity(4)); got.Sub(a).MaxAbs() > 1e-15 {
+		t.Error("A*I != A")
+	}
+	if got := Identity(4).Mul(a); got.Sub(a).MaxAbs() > 1e-15 {
+		t.Error("I*A != A")
+	}
+}
+
+func TestMatrixMulVec(t *testing.T) {
+	a := MatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	got := a.MulVec(Vector{1, 0, -1})
+	if want := (Vector{-2, -2}); !got.Equal(want, 0) {
+		t.Errorf("MulVec = %v, want %v", got, want)
+	}
+}
+
+func TestMatrixTranspose(t *testing.T) {
+	a := MatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.Transpose()
+	if at.Rows != 3 || at.Cols != 2 {
+		t.Fatalf("Transpose shape = %dx%d, want 3x2", at.Rows, at.Cols)
+	}
+	if att := at.Transpose(); att.Sub(a).MaxAbs() > 0 {
+		t.Error("double transpose != original")
+	}
+}
+
+func TestMatrixTrace(t *testing.T) {
+	a := MatrixFromRows([][]float64{{1, 9}, {9, 2}})
+	if got := a.Trace(); got != 3 {
+		t.Errorf("Trace = %v, want 3", got)
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	sym := MatrixFromRows([][]float64{{1, 2}, {2, 1}})
+	if !sym.IsSymmetric(0) {
+		t.Error("symmetric matrix reported asymmetric")
+	}
+	asym := MatrixFromRows([][]float64{{1, 2}, {3, 1}})
+	if asym.IsSymmetric(0.5) {
+		t.Error("asymmetric matrix reported symmetric")
+	}
+	rect := NewMatrix(2, 3)
+	if rect.IsSymmetric(1) {
+		t.Error("rectangular matrix reported symmetric")
+	}
+}
+
+func TestIsDoublyStochastic(t *testing.T) {
+	w := MatrixFromRows([][]float64{
+		{0.5, 0.5, 0},
+		{0.5, 0.25, 0.25},
+		{0, 0.25, 0.75},
+	})
+	if !w.IsDoublyStochastic(1e-12) {
+		t.Error("valid doubly stochastic matrix rejected")
+	}
+	bad := MatrixFromRows([][]float64{{0.9, 0.1}, {0.2, 0.8}})
+	if bad.IsDoublyStochastic(1e-6) {
+		t.Error("matrix with column sums != 1 accepted")
+	}
+	neg := MatrixFromRows([][]float64{{1.5, -0.5}, {-0.5, 1.5}})
+	if neg.IsDoublyStochastic(1e-6) {
+		t.Error("matrix with negative entries accepted")
+	}
+}
+
+func TestMatrixShapePanics(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"Add", func() { NewMatrix(2, 2).Add(NewMatrix(2, 3)) }},
+		{"Mul", func() { NewMatrix(2, 2).Mul(NewMatrix(3, 2)) }},
+		{"MulVec", func() { NewMatrix(2, 2).MulVec(Vector{1}) }},
+		{"Trace", func() { NewMatrix(2, 3).Trace() }},
+		{"NewNegative", func() { NewMatrix(-1, 2) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with bad shape did not panic", tc.name)
+				}
+			}()
+			tc.f()
+		})
+	}
+}
+
+// Property: (AB)ᵀ == BᵀAᵀ for random small matrices.
+func TestMulTransposeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := NewMatrix(3, 4), NewMatrix(4, 2)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64()
+		}
+		lhs := a.Mul(b).Transpose()
+		rhs := b.Transpose().Mul(a.Transpose())
+		return lhs.Sub(rhs).MaxAbs() < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: trace(AB) == trace(BA).
+func TestTraceCyclicProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := NewMatrix(4, 4), NewMatrix(4, 4)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+			b.Data[i] = rng.NormFloat64()
+		}
+		tr1 := a.Mul(b).Trace()
+		tr2 := b.Mul(a).Trace()
+		return math.Abs(tr1-tr2) < 1e-9*(1+math.Abs(tr1))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

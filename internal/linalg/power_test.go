@@ -1,0 +1,146 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomStochastic builds a random symmetric doubly stochastic matrix via
+// the edge parameterization over a random support.
+func randomStochastic(rng *rand.Rand, n int) *Matrix {
+	m := Identity(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.4 {
+				// Move weight from the diagonals to the pair, keeping
+				// symmetry and row sums.
+				w := rng.Float64() * math.Min(m.At(i, i), m.At(j, j)) * 0.5
+				m.Set(i, j, m.At(i, j)+w)
+				m.Set(j, i, m.At(j, i)+w)
+				m.Set(i, i, m.At(i, i)-w)
+				m.Set(j, j, m.At(j, j)-w)
+			}
+		}
+	}
+	return m
+}
+
+func TestStochasticExtremesMatchesJacobi(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		n := 5 + rng.Intn(20)
+		w := randomStochastic(rng, n)
+		lam2, v2, lamMin, vMin, err := StochasticExtremes(w, PowerOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eig, err := SymEigen(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := SpectrumFromEigen(eig)
+		if math.Abs(lam2-sp.LambdaBarMax) > 1e-6 {
+			t.Errorf("trial %d: λ₂ = %v, Jacobi %v", trial, lam2, sp.LambdaBarMax)
+		}
+		if math.Abs(lamMin-sp.LambdaMin) > 1e-6 {
+			t.Errorf("trial %d: λmin = %v, Jacobi %v", trial, lamMin, sp.LambdaMin)
+		}
+		// Eigenvector residuals ‖Wv − λv‖∞ small.
+		if r := w.MulVec(v2).Sub(v2.Scale(lam2)).NormInf(); r > 1e-5 {
+			t.Errorf("trial %d: v₂ residual %v", trial, r)
+		}
+		if r := w.MulVec(vMin).Sub(vMin.Scale(lamMin)).NormInf(); r > 1e-5 {
+			t.Errorf("trial %d: vmin residual %v", trial, r)
+		}
+	}
+}
+
+func TestStochasticExtremesUniformMatrix(t *testing.T) {
+	// J/n: spectrum {1, 0, ..., 0} — λ₂ = 0, λmin = 0.
+	n := 6
+	w := NewMatrix(n, n)
+	for i := range w.Data {
+		w.Data[i] = 1.0 / float64(n)
+	}
+	lam2, _, lamMin, _, err := StochasticExtremes(w, PowerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lam2) > 1e-8 || math.Abs(lamMin) > 1e-8 {
+		t.Errorf("J/n extremes = (%v, %v), want (0, 0)", lam2, lamMin)
+	}
+}
+
+func TestStochasticExtremesIdentity(t *testing.T) {
+	// W = I: every eigenvalue is 1 — no gap; λ₂ must come out as 1.
+	lam2, _, lamMin, _, err := StochasticExtremes(Identity(5), PowerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lam2-1) > 1e-8 {
+		t.Errorf("identity λ₂ = %v, want 1", lam2)
+	}
+	if math.Abs(lamMin-1) > 1e-8 {
+		t.Errorf("identity λmin = %v, want 1", lamMin)
+	}
+}
+
+func TestStochasticExtremesValidation(t *testing.T) {
+	if _, _, _, _, err := StochasticExtremes(NewMatrix(2, 3), PowerOptions{}); err == nil {
+		t.Error("rectangular matrix accepted")
+	}
+	if _, _, _, _, err := StochasticExtremes(NewMatrix(0, 0), PowerOptions{}); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	bad := MatrixFromRows([][]float64{{0.5, 0.1}, {0.1, 0.5}})
+	if _, _, _, _, err := StochasticExtremes(bad, PowerOptions{}); err == nil {
+		t.Error("non-stochastic rows accepted")
+	}
+}
+
+func TestStochasticExtremesSingleNode(t *testing.T) {
+	w := MatrixFromRows([][]float64{{1}})
+	lam2, _, lamMin, _, err := StochasticExtremes(w, PowerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lam2 != 0 || lamMin != 1 {
+		t.Errorf("n=1 extremes = (%v, %v), want (0, 1)", lam2, lamMin)
+	}
+}
+
+// Property: power-iteration eigenvalues agree with Jacobi on random
+// stochastic matrices.
+func TestStochasticExtremesProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + int(nRaw)%15
+		w := randomStochastic(rng, n)
+		lam2, _, lamMin, _, err := StochasticExtremes(w, PowerOptions{})
+		if err != nil {
+			return false
+		}
+		eig, err := SymEigen(w)
+		if err != nil {
+			return false
+		}
+		sp := SpectrumFromEigen(eig)
+		// When the extreme eigenvalue nearly ties its neighbor, power
+		// iteration converges to a vector in the tied subspace whose
+		// Rayleigh quotient lies anywhere between the two — so the
+		// mathematically guaranteed error bound is the spacing to the
+		// next eigenvalue (plus numerical slack). That is also all the
+		// weight optimizer needs: a subgradient from the tied subspace is
+		// a valid subgradient.
+		vals := eig.Values
+		gapTop := vals[len(vals)-2] - vals[len(vals)-3]
+		gapBot := vals[1] - vals[0]
+		return math.Abs(lam2-sp.LambdaBarMax) < 1e-4+gapTop &&
+			math.Abs(lamMin-sp.LambdaMin) < 1e-4+gapBot
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

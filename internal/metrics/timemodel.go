@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"fmt"
+	"time"
+)
+
+// LinkModel estimates wall-clock round times from network characteristics
+// — the quantities the paper's §IV-D says the synchronization timer should
+// be derived from ("link bandwidth … scale of the model and amount of the
+// training data"). The simulator is lockstep, so time is modeled, not
+// measured: a round lasts as long as its slowest transfer plus the slowest
+// node's compute.
+type LinkModel struct {
+	// BandwidthBps is the per-link bandwidth in bits per second
+	// (default 1 Gbps, the paper's testbed links).
+	BandwidthBps float64
+	// LatencyPerHop is the one-way per-hop latency (default 2ms,
+	// a metro-area wireless backhaul figure).
+	LatencyPerHop time.Duration
+	// ComputePerSample models local gradient time per training sample
+	// (default 500ns, a small CPU model).
+	ComputePerSample time.Duration
+}
+
+func (m LinkModel) withDefaults() LinkModel {
+	if m.BandwidthBps <= 0 {
+		m.BandwidthBps = 1e9
+	}
+	if m.LatencyPerHop <= 0 {
+		m.LatencyPerHop = 2 * time.Millisecond
+	}
+	if m.ComputePerSample <= 0 {
+		m.ComputePerSample = 500 * time.Nanosecond
+	}
+	return m
+}
+
+// TransferTime returns the modeled time for one message of payloadBytes
+// crossing hops links: store-and-forward serialization per hop plus
+// propagation latency.
+func (m LinkModel) TransferTime(payloadBytes, hops int) time.Duration {
+	if payloadBytes < 0 || hops < 0 {
+		panic(fmt.Sprintf("metrics: negative transfer components bytes=%d hops=%d", payloadBytes, hops))
+	}
+	mm := m.withDefaults()
+	serialization := time.Duration(float64(payloadBytes*8) / mm.BandwidthBps * float64(time.Second))
+	return time.Duration(hops) * (serialization + mm.LatencyPerHop)
+}
+
+// RoundTime returns the modeled duration of one synchronized round:
+// the slowest node's compute plus the slowest message transfer (transfers
+// within a round proceed in parallel across links).
+func (m LinkModel) RoundTime(maxSamplesPerNode int, slowestTransfer time.Duration) time.Duration {
+	if maxSamplesPerNode < 0 {
+		panic(fmt.Sprintf("metrics: negative sample count %d", maxSamplesPerNode))
+	}
+	mm := m.withDefaults()
+	return time.Duration(maxSamplesPerNode)*mm.ComputePerSample + slowestTransfer
+}
+
+// SyncTimer returns the RIP-like round timer the paper's §IV-D describes:
+// a safe upper bound on one round — slowest compute plus the worst-case
+// full-vector transfer over the network diameter — with slack headroom.
+func (m LinkModel) SyncTimer(maxSamplesPerNode, fullFrameBytes, diameter int, slack float64) time.Duration {
+	if slack < 1 {
+		slack = 1.5
+	}
+	worst := m.RoundTime(maxSamplesPerNode, m.TransferTime(fullFrameBytes, diameter))
+	return time.Duration(float64(worst) * slack)
+}
+
+// EstimateRunTime turns a training run's per-round byte trace into a
+// wall-clock estimate: each round costs compute plus the round's largest
+// single-message transfer, approximated as perRoundBytes[i]/messages (the
+// lockstep simulator records totals, not per-message maxima, so this is a
+// mean-message approximation; pass messagesPerRound = 0 to treat the whole
+// round's traffic as one serialized transfer, an upper bound).
+func (m LinkModel) EstimateRunTime(perRoundBytes []float64, messagesPerRound int, maxSamplesPerNode int) time.Duration {
+	var total time.Duration
+	for _, bytes := range perRoundBytes {
+		per := bytes
+		if messagesPerRound > 0 {
+			per = bytes / float64(messagesPerRound)
+		}
+		total += m.RoundTime(maxSamplesPerNode, m.TransferTime(int(per), 1))
+	}
+	return total
+}

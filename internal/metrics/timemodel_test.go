@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTransferTimeKnownValues(t *testing.T) {
+	m := LinkModel{BandwidthBps: 1e9, LatencyPerHop: time.Millisecond}
+	// 1 MB over one 1 Gbps hop: 8e6 bits / 1e9 bps = 8ms + 1ms latency.
+	got := m.TransferTime(1_000_000, 1)
+	want := 9 * time.Millisecond
+	if got != want {
+		t.Errorf("TransferTime = %v, want %v", got, want)
+	}
+	// Three hops: store-and-forward triples both terms.
+	if got := m.TransferTime(1_000_000, 3); got != 27*time.Millisecond {
+		t.Errorf("3-hop TransferTime = %v, want 27ms", got)
+	}
+	// Zero bytes: pure latency.
+	if got := m.TransferTime(0, 2); got != 2*time.Millisecond {
+		t.Errorf("latency-only = %v, want 2ms", got)
+	}
+}
+
+func TestTransferTimeDefaults(t *testing.T) {
+	var m LinkModel // all defaults
+	got := m.TransferTime(125_000, 1)
+	// 1 Mbit / 1 Gbps = 1ms + 2ms default latency.
+	if got != 3*time.Millisecond {
+		t.Errorf("default TransferTime = %v, want 3ms", got)
+	}
+}
+
+func TestTransferTimePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative bytes did not panic")
+		}
+	}()
+	LinkModel{}.TransferTime(-1, 1)
+}
+
+func TestRoundTime(t *testing.T) {
+	m := LinkModel{ComputePerSample: time.Microsecond}
+	got := m.RoundTime(1000, 5*time.Millisecond)
+	if got != time.Millisecond+5*time.Millisecond {
+		t.Errorf("RoundTime = %v, want 6ms", got)
+	}
+}
+
+func TestSyncTimerExceedsWorstRound(t *testing.T) {
+	m := LinkModel{}
+	worst := m.RoundTime(10_000, m.TransferTime(200_000, 4))
+	timer := m.SyncTimer(10_000, 200_000, 4, 0) // slack defaults to 1.5
+	if timer <= worst {
+		t.Errorf("SyncTimer %v not above worst round %v", timer, worst)
+	}
+	if timer > 2*worst {
+		t.Errorf("SyncTimer %v more than 2x worst round %v", timer, worst)
+	}
+}
+
+func TestEstimateRunTimeMonotoneInTraffic(t *testing.T) {
+	m := LinkModel{}
+	light := m.EstimateRunTime([]float64{1000, 1000}, 10, 100)
+	heavy := m.EstimateRunTime([]float64{1_000_000, 1_000_000}, 10, 100)
+	if heavy <= light {
+		t.Errorf("heavier traffic not slower: %v vs %v", heavy, light)
+	}
+	// Upper-bound mode (whole round serialized) is slower than the
+	// mean-message mode.
+	upper := m.EstimateRunTime([]float64{1_000_000}, 0, 100)
+	mean := m.EstimateRunTime([]float64{1_000_000}, 10, 100)
+	if upper <= mean {
+		t.Errorf("serialized bound %v not above mean-message %v", upper, mean)
+	}
+}

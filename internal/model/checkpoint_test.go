@@ -1,0 +1,148 @@
+package model
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/snapml/snap/internal/linalg"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	params := linalg.NewVector(257)
+	for i := range params {
+		params[i] = rng.NormFloat64()
+	}
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, params); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadParams(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(params, 0) {
+		t.Error("checkpoint round trip lost data")
+	}
+}
+
+func TestCheckpointEmptyVector(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, linalg.Vector{}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadParams(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty checkpoint loaded %d params", len(got))
+	}
+}
+
+func TestCheckpointSpecialValues(t *testing.T) {
+	params := linalg.Vector{0, math.Inf(1), math.Inf(-1), math.NaN(), -0.0, math.MaxFloat64}
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, params); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadParams(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range params {
+		if math.Float64bits(got[i]) != math.Float64bits(params[i]) {
+			t.Errorf("param %d: bits changed", i)
+		}
+	}
+}
+
+func TestCheckpointRejectsCorruption(t *testing.T) {
+	params := linalg.Vector{1, 2, 3}
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, params); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"badMagic", func(b []byte) []byte { c := append([]byte(nil), b...); c[0] = 'X'; return c }},
+		{"badVersion", func(b []byte) []byte { c := append([]byte(nil), b...); c[5] = 99; return c }},
+		{"flippedPayloadBit", func(b []byte) []byte { c := append([]byte(nil), b...); c[20] ^= 1; return c }},
+		{"truncated", func(b []byte) []byte { return b[:len(b)-5] }},
+		{"empty", func(b []byte) []byte { return nil }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := LoadParams(bytes.NewReader(tc.mutate(raw))); err == nil {
+				t.Error("corrupted checkpoint accepted")
+			}
+		})
+	}
+}
+
+func TestCheckpointRejectsHugeDim(t *testing.T) {
+	// Forged header claiming an absurd dimension must not allocate.
+	forged := []byte("SNAP")
+	forged = append(forged, 0, 1)                                           // version 1
+	forged = append(forged, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF) // dim = 2^64-1
+	if _, err := LoadParams(bytes.NewReader(forged)); err == nil {
+		t.Error("absurd dimension accepted")
+	}
+}
+
+// Property: round trip is exact for arbitrary vectors.
+func TestCheckpointProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		var buf bytes.Buffer
+		if err := SaveParams(&buf, linalg.Vector(xs)); err != nil {
+			return false
+		}
+		got, err := LoadParams(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(xs) {
+			return false
+		}
+		for i := range xs {
+			if math.Float64bits(got[i]) != math.Float64bits(xs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCheckpointTrainedModel persists a converged model and verifies the
+// reloaded parameters predict identically.
+func TestCheckpointTrainedModel(t *testing.T) {
+	m := NewLinearSVM(10)
+	batch := creditBatch(100, 30)
+	w := m.InitParams(31)
+	for step := 0; step < 100; step++ {
+		w.AXPYInPlace(-0.1, m.Gradient(w, batch))
+	}
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadParams(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range batch {
+		if m.Predict(w, s.X) != m.Predict(got, s.X) {
+			t.Fatal("reloaded model predicts differently")
+		}
+	}
+}

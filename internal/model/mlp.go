@@ -1,0 +1,182 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/snapml/snap/internal/dataset"
+	"github.com/snapml/snap/internal/linalg"
+)
+
+// MLP is a fully connected 3-layer neural network — the paper's testbed
+// model: In inputs, Hidden sigmoid perceptrons, Out softmax outputs trained
+// with cross-entropy (784-30-10 for the digit task). Parameters are packed
+// as [W1 (In×Hidden row-major) | b1 (Hidden) | W2 (Hidden×Out) | b2 (Out)].
+type MLP struct {
+	In, Hidden, Out int
+}
+
+var _ Model = (*MLP)(nil)
+
+// NewMLP returns the paper's 784-30-10 network when called as
+// NewMLP(784, 30, 10).
+func NewMLP(in, hidden, out int) *MLP {
+	if in <= 0 || hidden <= 0 || out <= 0 {
+		panic(fmt.Sprintf("model: invalid MLP shape %d-%d-%d", in, hidden, out))
+	}
+	return &MLP{In: in, Hidden: hidden, Out: out}
+}
+
+// Name implements Model.
+func (m *MLP) Name() string { return fmt.Sprintf("mlp-%d-%d-%d", m.In, m.Hidden, m.Out) }
+
+// NumParams implements Model.
+func (m *MLP) NumParams() int {
+	return m.In*m.Hidden + m.Hidden + m.Hidden*m.Out + m.Out
+}
+
+// Parameter block offsets within the flat vector.
+func (m *MLP) offsets() (w1, b1, w2, b2 int) {
+	w1 = 0
+	b1 = m.In * m.Hidden
+	w2 = b1 + m.Hidden
+	b2 = w2 + m.Hidden*m.Out
+	return
+}
+
+// forward computes the hidden activations and output probabilities for x.
+func (m *MLP) forward(p linalg.Vector, x []float64) (hidden, probs []float64) {
+	w1o, b1o, w2o, b2o := m.offsets()
+	hidden = make([]float64, m.Hidden)
+	for h := 0; h < m.Hidden; h++ {
+		z := p[b1o+h]
+		row := p[w1o+h*m.In : w1o+(h+1)*m.In]
+		for i, xi := range x {
+			z += row[i] * xi
+		}
+		hidden[h] = sigmoid(z)
+	}
+	logits := make([]float64, m.Out)
+	for o := 0; o < m.Out; o++ {
+		z := p[b2o+o]
+		for h, hv := range hidden {
+			z += p[w2o+o*m.Hidden+h] * hv
+		}
+		logits[o] = z
+	}
+	return hidden, softmax(logits)
+}
+
+// Loss implements Model: mean cross-entropy over the batch.
+func (m *MLP) Loss(p linalg.Vector, batch []dataset.Sample) float64 {
+	m.checkDim(p)
+	if len(batch) == 0 {
+		return 0
+	}
+	var ce float64
+	for _, s := range batch {
+		_, probs := m.forward(p, s.X)
+		ce += -math.Log(math.Max(probs[s.Label], 1e-15))
+	}
+	return ce / float64(len(batch))
+}
+
+// Gradient implements Model via backpropagation.
+func (m *MLP) Gradient(p linalg.Vector, batch []dataset.Sample) linalg.Vector {
+	m.checkDim(p)
+	g := linalg.NewVector(m.NumParams())
+	if len(batch) == 0 {
+		return g
+	}
+	w1o, b1o, w2o, b2o := m.offsets()
+	inv := 1 / float64(len(batch))
+	for _, s := range batch {
+		hidden, probs := m.forward(p, s.X)
+		// Output delta: softmax+CE gives δ_o = p_o − 1{o=label}.
+		deltaOut := make([]float64, m.Out)
+		copy(deltaOut, probs)
+		deltaOut[s.Label]--
+		// Hidden delta: δ_h = σ'(z_h)·Σ_o w2[o][h]·δ_o.
+		deltaHidden := make([]float64, m.Hidden)
+		for h := 0; h < m.Hidden; h++ {
+			var back float64
+			for o := 0; o < m.Out; o++ {
+				back += p[w2o+o*m.Hidden+h] * deltaOut[o]
+			}
+			deltaHidden[h] = back * hidden[h] * (1 - hidden[h])
+		}
+		for o := 0; o < m.Out; o++ {
+			d := deltaOut[o] * inv
+			g[b2o+o] += d
+			for h, hv := range hidden {
+				g[w2o+o*m.Hidden+h] += d * hv
+			}
+		}
+		for h := 0; h < m.Hidden; h++ {
+			d := deltaHidden[h] * inv
+			g[b1o+h] += d
+			grow := g[w1o+h*m.In : w1o+(h+1)*m.In]
+			for i, xi := range s.X {
+				grow[i] += d * xi
+			}
+		}
+	}
+	return g
+}
+
+// Predict implements Model: argmax over output probabilities.
+func (m *MLP) Predict(p linalg.Vector, x []float64) int {
+	_, probs := m.forward(p, x)
+	best, bestV := 0, probs[0]
+	for o := 1; o < m.Out; o++ {
+		if probs[o] > bestV {
+			best, bestV = o, probs[o]
+		}
+	}
+	return best
+}
+
+// InitParams implements Model: Xavier/Glorot uniform initialization.
+func (m *MLP) InitParams(seed int64) linalg.Vector {
+	rng := rand.New(rand.NewSource(seed))
+	p := linalg.NewVector(m.NumParams())
+	w1o, _, w2o, b2o := m.offsets()
+	lim1 := math.Sqrt(6 / float64(m.In+m.Hidden))
+	for i := w1o; i < w1o+m.In*m.Hidden; i++ {
+		p[i] = lim1 * (2*rng.Float64() - 1)
+	}
+	lim2 := math.Sqrt(6 / float64(m.Hidden+m.Out))
+	for i := w2o; i < b2o; i++ {
+		p[i] = lim2 * (2*rng.Float64() - 1)
+	}
+	// Biases start at zero.
+	return p
+}
+
+func (m *MLP) checkDim(p linalg.Vector) {
+	if len(p) != m.NumParams() {
+		panic(fmt.Sprintf("model: mlp params have %d entries, want %d", len(p), m.NumParams()))
+	}
+}
+
+// softmax returns the stable softmax of logits.
+func softmax(logits []float64) []float64 {
+	maxZ := logits[0]
+	for _, z := range logits[1:] {
+		if z > maxZ {
+			maxZ = z
+		}
+	}
+	out := make([]float64, len(logits))
+	var sum float64
+	for i, z := range logits {
+		e := math.Exp(z - maxZ)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/snapml/snap/internal/dataset"
+	"github.com/snapml/snap/internal/linalg"
+)
+
+// SoftmaxRegression is a multiclass linear classifier with cross-entropy
+// loss and L2 regularization — a convex multiclass model that sits between
+// the binary SVM and the MLP: it handles the 10-class digit task while
+// keeping the convexity the paper's Theorem 1 assumes. Parameters are
+// packed as [W (Classes×Features row-major) | b (Classes)].
+type SoftmaxRegression struct {
+	Features int
+	Classes  int
+	Lambda   float64 // L2 strength on weights; default 1e-4
+}
+
+var _ Model = (*SoftmaxRegression)(nil)
+
+// NewSoftmaxRegression returns a model for the given shape with default
+// regularization.
+func NewSoftmaxRegression(features, classes int) *SoftmaxRegression {
+	if features <= 0 || classes < 2 {
+		panic(fmt.Sprintf("model: invalid softmax shape %d features, %d classes", features, classes))
+	}
+	return &SoftmaxRegression{Features: features, Classes: classes, Lambda: 1e-4}
+}
+
+// Name implements Model.
+func (m *SoftmaxRegression) Name() string {
+	return fmt.Sprintf("softmax-%dx%d", m.Features, m.Classes)
+}
+
+// NumParams implements Model.
+func (m *SoftmaxRegression) NumParams() int { return m.Classes*m.Features + m.Classes }
+
+func (m *SoftmaxRegression) lambda() float64 {
+	if m.Lambda <= 0 {
+		return 1e-4
+	}
+	return m.Lambda
+}
+
+// logits computes the per-class scores for x.
+func (m *SoftmaxRegression) logits(p linalg.Vector, x []float64) []float64 {
+	biasOff := m.Classes * m.Features
+	out := make([]float64, m.Classes)
+	for c := 0; c < m.Classes; c++ {
+		z := p[biasOff+c]
+		row := p[c*m.Features : (c+1)*m.Features]
+		for j, xj := range x {
+			z += row[j] * xj
+		}
+		out[c] = z
+	}
+	return out
+}
+
+// Loss implements Model: mean cross-entropy + (λ/2)||W||².
+func (m *SoftmaxRegression) Loss(p linalg.Vector, batch []dataset.Sample) float64 {
+	m.checkDim(p)
+	var reg float64
+	for i := 0; i < m.Classes*m.Features; i++ {
+		reg += p[i] * p[i]
+	}
+	loss := m.lambda() / 2 * reg
+	if len(batch) == 0 {
+		return loss
+	}
+	var ce float64
+	for _, s := range batch {
+		probs := softmax(m.logits(p, s.X))
+		ce += -math.Log(math.Max(probs[s.Label], 1e-15))
+	}
+	return loss + ce/float64(len(batch))
+}
+
+// Gradient implements Model.
+func (m *SoftmaxRegression) Gradient(p linalg.Vector, batch []dataset.Sample) linalg.Vector {
+	m.checkDim(p)
+	g := linalg.NewVector(m.NumParams())
+	for i := 0; i < m.Classes*m.Features; i++ {
+		g[i] = m.lambda() * p[i]
+	}
+	if len(batch) == 0 {
+		return g
+	}
+	biasOff := m.Classes * m.Features
+	inv := 1 / float64(len(batch))
+	for _, s := range batch {
+		probs := softmax(m.logits(p, s.X))
+		for c := 0; c < m.Classes; c++ {
+			delta := probs[c]
+			if c == s.Label {
+				delta--
+			}
+			delta *= inv
+			g[biasOff+c] += delta
+			grow := g[c*m.Features : (c+1)*m.Features]
+			for j, xj := range s.X {
+				grow[j] += delta * xj
+			}
+		}
+	}
+	return g
+}
+
+// Predict implements Model: argmax class score.
+func (m *SoftmaxRegression) Predict(p linalg.Vector, x []float64) int {
+	logits := m.logits(p, x)
+	best, bestV := 0, logits[0]
+	for c := 1; c < m.Classes; c++ {
+		if logits[c] > bestV {
+			best, bestV = c, logits[c]
+		}
+	}
+	return best
+}
+
+// InitParams implements Model: small random weights, zero biases.
+func (m *SoftmaxRegression) InitParams(seed int64) linalg.Vector {
+	rng := rand.New(rand.NewSource(seed))
+	p := linalg.NewVector(m.NumParams())
+	for i := 0; i < m.Classes*m.Features; i++ {
+		p[i] = 0.01 * rng.NormFloat64()
+	}
+	return p
+}
+
+func (m *SoftmaxRegression) checkDim(p linalg.Vector) {
+	if len(p) != m.NumParams() {
+		panic(fmt.Sprintf("model: softmax params have %d entries, want %d", len(p), m.NumParams()))
+	}
+}

@@ -1,0 +1,94 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/snapml/snap/internal/dataset"
+)
+
+func TestSoftmaxGradientNumerical(t *testing.T) {
+	m := NewSoftmaxRegression(12, 4)
+	rng := rand.New(rand.NewSource(1))
+	batch := make([]dataset.Sample, 10)
+	for i := range batch {
+		x := make([]float64, 12)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		batch[i] = dataset.Sample{X: x, Label: rng.Intn(4)}
+	}
+	numericalGradCheck(t, m, batch, 1e-4)
+}
+
+func TestSoftmaxNumParams(t *testing.T) {
+	m := NewSoftmaxRegression(100, 10)
+	if got := m.NumParams(); got != 100*10+10 {
+		t.Errorf("NumParams = %d, want 1010", got)
+	}
+	if m.Name() != "softmax-100x10" {
+		t.Errorf("Name = %q", m.Name())
+	}
+}
+
+func TestSoftmaxTrainsOnDigits(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	train, test := dataset.SyntheticDigits(
+		dataset.DigitsConfig{Train: 1200, Test: 300, Side: 10, Noise: 0.2}, rng)
+	m := NewSoftmaxRegression(train.NumFeature, 10)
+	p := m.InitParams(3)
+	for step := 0; step < 300; step++ {
+		p.AXPYInPlace(-0.5, m.Gradient(p, train.Batch(step, 64)))
+	}
+	if acc := Accuracy(m, p, test); acc < 0.8 {
+		t.Errorf("softmax digit accuracy = %v, want ≥ 0.8", acc)
+	}
+}
+
+func TestSoftmaxPredictInRange(t *testing.T) {
+	m := NewSoftmaxRegression(5, 3)
+	p := m.InitParams(4)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 30; i++ {
+		x := make([]float64, 5)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		if got := m.Predict(p, x); got < 0 || got >= 3 {
+			t.Fatalf("Predict = %d", got)
+		}
+	}
+}
+
+func TestSoftmaxPanicsOnBadShape(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewSoftmaxRegression(0, 3) },
+		func() { NewSoftmaxRegression(4, 1) },
+		func() { NewSoftmaxRegression(4, 3).Gradient(make([]float64, 2), nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad shape did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSoftmaxEmptyBatchRegularizationOnly(t *testing.T) {
+	m := NewSoftmaxRegression(3, 2)
+	p := m.InitParams(6)
+	g := m.Gradient(p, nil)
+	for i := 0; i < 6; i++ {
+		want := m.lambda() * p[i]
+		if g[i] != want {
+			t.Errorf("weight grad %d = %v, want %v", i, g[i], want)
+		}
+	}
+	// Bias gradients untouched by regularization.
+	if g[6] != 0 || g[7] != 0 {
+		t.Errorf("bias grads = %v, %v, want 0", g[6], g[7])
+	}
+}

@@ -1,0 +1,119 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/snapml/snap/internal/dataset"
+	"github.com/snapml/snap/internal/linalg"
+)
+
+// LinearSVM is a binary L2-regularized squared-hinge (L2-SVM) classifier
+// with no bias term, so a d-feature task has exactly d parameters —
+// matching the paper's "24 parameters in each SVM model" for the
+// 24-feature credit data. The squared hinge is used instead of the plain
+// hinge because its gradient is Lipschitz, which the EXTRA convergence
+// theory (paper Theorem 1 and the rate bound eq. 17) assumes; with the
+// non-smooth hinge the iterates jitter at a subgradient-sized floor and
+// parameter changes never decay, defeating the paper's premise that
+// almost all parameters stop changing near convergence (Fig. 2).
+// Labels must be 0 (negative) or 1 (positive).
+type LinearSVM struct {
+	// Features is the input dimensionality d.
+	Features int
+	// Lambda is the L2 regularization strength (default 1e-3 if zero).
+	Lambda float64
+}
+
+var _ Model = (*LinearSVM)(nil)
+
+// NewLinearSVM returns a LinearSVM for d features with the default
+// regularization.
+func NewLinearSVM(d int) *LinearSVM { return &LinearSVM{Features: d, Lambda: 1e-3} }
+
+// Name implements Model.
+func (m *LinearSVM) Name() string { return "linear-svm" }
+
+// NumParams implements Model.
+func (m *LinearSVM) NumParams() int { return m.Features }
+
+func (m *LinearSVM) lambda() float64 {
+	if m.Lambda <= 0 {
+		return 1e-3
+	}
+	return m.Lambda
+}
+
+// Loss implements Model: (λ/2)||w||² + mean squared-hinge loss
+// max(0, 1−y·w·x)².
+func (m *LinearSVM) Loss(w linalg.Vector, batch []dataset.Sample) float64 {
+	m.checkDim(w)
+	loss := m.lambda() / 2 * w.Dot(w)
+	if len(batch) == 0 {
+		return loss
+	}
+	var hinge float64
+	for _, s := range batch {
+		margin := signedLabel(s.Label) * dot(w, s.X)
+		if margin < 1 {
+			hinge += (1 - margin) * (1 - margin)
+		}
+	}
+	return loss + hinge/float64(len(batch))
+}
+
+// Gradient implements Model: λw − (2/m)Σ max(0, 1−y·w·x)·y·x.
+func (m *LinearSVM) Gradient(w linalg.Vector, batch []dataset.Sample) linalg.Vector {
+	m.checkDim(w)
+	g := w.Scale(m.lambda())
+	if len(batch) == 0 {
+		return g
+	}
+	inv := 1 / float64(len(batch))
+	for _, s := range batch {
+		y := signedLabel(s.Label)
+		if margin := y * dot(w, s.X); margin < 1 {
+			coeff := 2 * (1 - margin) * y * inv
+			for j, xj := range s.X {
+				g[j] -= coeff * xj
+			}
+		}
+	}
+	return g
+}
+
+// Predict implements Model: positive margin means class 1.
+func (m *LinearSVM) Predict(w linalg.Vector, x []float64) int {
+	if dot(w, x) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// InitParams implements Model: small random weights so that the initial
+// point is generic (all-zero would sit exactly on the decision boundary).
+// The 0.05 scale is roughly a tenth of the converged weight magnitude,
+// which makes the paper's APE threshold rule (T₀ = 10% of the mean
+// initial |parameter|) land at a meaningful value.
+func (m *LinearSVM) InitParams(seed int64) linalg.Vector {
+	rng := rand.New(rand.NewSource(seed))
+	w := linalg.NewVector(m.Features)
+	for i := range w {
+		w[i] = 0.05 * rng.NormFloat64()
+	}
+	return w
+}
+
+func (m *LinearSVM) checkDim(w linalg.Vector) {
+	if len(w) != m.Features {
+		panic(fmt.Sprintf("model: svm params have %d entries, want %d", len(w), m.Features))
+	}
+}
+
+func dot(w linalg.Vector, x []float64) float64 {
+	var s float64
+	for j, xj := range x {
+		s += w[j] * xj
+	}
+	return s
+}

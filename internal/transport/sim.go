@@ -1,0 +1,196 @@
+// Package transport moves SNAP frames between edge servers.
+//
+// Two implementations are provided:
+//
+//   - Sim: a deterministic in-memory network for the paper's large-scale
+//     simulations. It delivers frames in lockstep rounds over a fixed
+//     topology, injects per-round link failures (the straggler experiments
+//     of Fig. 9), and charges every message hops × bytes to a cost ledger
+//     (the paper's definition of communication cost).
+//
+//   - Peer: a real TCP endpoint for the testbed mode: length-prefixed
+//     frames over persistent connections between neighbor edge servers,
+//     with a round-tagged gather that tolerates missing neighbors
+//     (stragglers) via timeout.
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"github.com/snapml/snap/internal/graph"
+	"github.com/snapml/snap/internal/metrics"
+)
+
+// Sim is a lockstep simulated network over a fixed topology. Messages sent
+// during a round are delivered at that round's Exchange call. Direct
+// neighbor traffic crosses one hop; Unicast traffic is routed along
+// shortest paths and charged accordingly. Sim is safe for concurrent use
+// by per-node goroutines within a round.
+type Sim struct {
+	topo   *graph.Graph
+	hops   [][]int
+	ledger *metrics.CostLedger
+
+	// failureRate is the per-round probability that an individual link is
+	// down (both directions). Failed links drop neighbor frames silently,
+	// which is exactly the paper's straggler model: the receiver just
+	// reuses the neighbor's last parameters.
+	failureRate float64
+	failureRNG  *rand.Rand
+
+	mu         sync.Mutex
+	round      int
+	downLinks  map[graph.Edge]bool
+	inboxes    []map[int][]byte // inboxes[to][from] = frame (neighbor traffic)
+	uniInboxes []map[int][]byte // unicast traffic, same shape
+	dropped    int64            // frames lost to failed links
+}
+
+// NewSim builds a simulated network over topo. ledger may be nil, in which
+// case an internal ledger is created (retrievable via Ledger).
+func NewSim(topo *graph.Graph, ledger *metrics.CostLedger) *Sim {
+	if ledger == nil {
+		ledger = metrics.NewCostLedger()
+	}
+	s := &Sim{
+		topo:   topo,
+		hops:   topo.AllPairsHops(),
+		ledger: ledger,
+	}
+	s.resetInboxes()
+	s.downLinks = make(map[graph.Edge]bool)
+	return s
+}
+
+// SetFailures enables per-round link failures: each link is independently
+// down for a whole round with probability rate, drawn deterministically
+// from seed.
+func (s *Sim) SetFailures(rate float64, seed int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failureRate = rate
+	s.failureRNG = rand.New(rand.NewSource(seed))
+}
+
+// Ledger returns the cost ledger charged by this network.
+func (s *Sim) Ledger() *metrics.CostLedger { return s.ledger }
+
+// NumNodes returns the number of simulated edge servers.
+func (s *Sim) NumNodes() int { return s.topo.N() }
+
+// Neighbors returns the neighbor set of node i.
+func (s *Sim) Neighbors(i int) []int { return s.topo.Neighbors(i) }
+
+// Topology returns the underlying graph (not a copy; callers must not
+// mutate it mid-run).
+func (s *Sim) Topology() *graph.Graph { return s.topo }
+
+// Dropped returns the number of frames lost to failed links so far.
+func (s *Sim) Dropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// BeginRound starts round r: clears inboxes and resamples link failures.
+// Rounds must begin in nondecreasing order.
+func (s *Sim) BeginRound(r int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.round = r
+	s.resetInboxesLocked()
+	for k := range s.downLinks {
+		delete(s.downLinks, k)
+	}
+	if s.failureRate > 0 && s.failureRNG != nil {
+		for _, e := range s.topo.Edges() {
+			if s.failureRNG.Float64() < s.failureRate {
+				s.downLinks[e] = true
+			}
+		}
+	}
+}
+
+// Send transmits a frame from node `from` to direct neighbor `to` during
+// the current round. It returns an error if the nodes are not neighbors.
+// If the link is down this round the frame is dropped silently (the
+// sender cannot tell — as with a congested wireless link) but the cost is
+// not charged, since the frame never crossed the link.
+func (s *Sim) Send(from, to int, frame []byte) error {
+	if !s.topo.HasEdge(from, to) {
+		return fmt.Errorf("transport: %d→%d are not neighbors", from, to)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.downLinks[canonical(from, to)] {
+		s.dropped++
+		return nil
+	}
+	s.ledger.Record(s.round, 1, len(frame))
+	s.inboxes[to][from] = frame
+	return nil
+}
+
+// Unicast transmits a frame between two arbitrary nodes along the shortest
+// path, charging hops × bytes. Used by the parameter-server baselines.
+// Unicast traffic is not subject to link-failure injection (the PS
+// baselines in the paper are evaluated without stragglers).
+func (s *Sim) Unicast(from, to int, frame []byte) error {
+	h := s.hops[from][to]
+	if h < 0 {
+		return fmt.Errorf("transport: no path %d→%d", from, to)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ledger.Record(s.round, h, len(frame))
+	s.uniInboxes[to][from] = frame
+	return nil
+}
+
+// Collect drains node i's neighbor inbox for the current round: a map from
+// sender id to frame.
+func (s *Sim) Collect(i int) map[int][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.inboxes[i]
+	s.inboxes[i] = make(map[int][]byte)
+	return out
+}
+
+// CollectUnicast drains node i's unicast inbox for the current round.
+func (s *Sim) CollectUnicast(i int) map[int][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.uniInboxes[i]
+	s.uniInboxes[i] = make(map[int][]byte)
+	return out
+}
+
+// Hops returns the shortest-path hop count between two nodes (-1 if
+// disconnected).
+func (s *Sim) Hops(from, to int) int { return s.hops[from][to] }
+
+func (s *Sim) resetInboxes() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.resetInboxesLocked()
+}
+
+func (s *Sim) resetInboxesLocked() {
+	n := s.topo.N()
+	s.inboxes = make([]map[int][]byte, n)
+	s.uniInboxes = make([]map[int][]byte, n)
+	for i := 0; i < n; i++ {
+		s.inboxes[i] = make(map[int][]byte)
+		s.uniInboxes[i] = make(map[int][]byte)
+	}
+}
+
+func canonical(u, v int) graph.Edge {
+	if u > v {
+		u, v = v, u
+	}
+	return graph.Edge{U: u, V: v}
+}

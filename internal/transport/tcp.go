@@ -1,0 +1,334 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxFrameBytes bounds a single wire frame; generous for the paper's
+// largest model (a 784-30-10 MLP update is < 300 KB).
+const maxFrameBytes = 64 << 20
+
+// Peer is one edge server's TCP endpoint. Peers keep one persistent
+// connection per neighbor (the lower-id peer accepts, the higher-id peer
+// dials, so each pair has exactly one connection) and exchange
+// length-prefixed, round-tagged frames. Gather implements the paper's
+// RIP-like synchronization: wait for this round's frame from every
+// neighbor, giving up on stragglers after a timeout.
+type Peer struct {
+	id       int
+	listener net.Listener
+
+	mu    sync.Mutex
+	conns map[int]*peerConn
+
+	inbox chan inFrame
+
+	// pending buffers frames by round until Gather asks for them.
+	pendingMu sync.Mutex
+	pending   map[int]map[int][]byte
+
+	bytesSent atomic.Int64
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+type peerConn struct {
+	writeMu sync.Mutex
+	conn    net.Conn
+}
+
+type inFrame struct {
+	from  int
+	round int
+	frame []byte
+}
+
+// NewPeer creates a peer with the given id listening on addr
+// (e.g. "127.0.0.1:0" for an ephemeral port).
+func NewPeer(id int, addr string) (*Peer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: peer %d listen: %w", id, err)
+	}
+	p := &Peer{
+		id:       id,
+		listener: ln,
+		conns:    make(map[int]*peerConn),
+		inbox:    make(chan inFrame, 1024),
+		pending:  make(map[int]map[int][]byte),
+		closed:   make(chan struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// ID returns this peer's node id.
+func (p *Peer) ID() int { return p.id }
+
+// Addr returns the listener address (use after NewPeer with port 0).
+func (p *Peer) Addr() string { return p.listener.Addr().String() }
+
+// BytesSent returns the total payload bytes written to sockets — the
+// quantity the paper's testbed experiment records.
+func (p *Peer) BytesSent() int64 { return p.bytesSent.Load() }
+
+// Connect establishes connections to all neighbors: it dials every
+// neighbor with a higher id and waits until connections with all listed
+// neighbors (dialed or accepted) exist, or the timeout expires.
+func (p *Peer) Connect(neighbors map[int]string, timeout time.Duration) error {
+	for nid, addr := range neighbors {
+		if nid == p.id {
+			return fmt.Errorf("transport: peer %d listed as its own neighbor", p.id)
+		}
+		if nid > p.id {
+			if err := p.dial(nid, addr, timeout); err != nil {
+				return err
+			}
+		}
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		p.mu.Lock()
+		missing := 0
+		for nid := range neighbors {
+			if _, ok := p.conns[nid]; !ok {
+				missing++
+			}
+		}
+		p.mu.Unlock()
+		if missing == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("transport: peer %d timed out waiting for %d neighbor connection(s)", p.id, missing)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// dial connects to a neighbor, retrying until the deadline — peers start
+// in arbitrary order, so the target may not be listening yet.
+func (p *Peer) dial(nid int, addr string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var conn net.Conn
+	var err error
+	for {
+		conn, err = net.DialTimeout("tcp", addr, timeout)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("transport: peer %d dial %d@%s: %w", p.id, nid, addr, err)
+		}
+		select {
+		case <-p.closed:
+			return fmt.Errorf("transport: peer %d closed while dialing %d", p.id, nid)
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+	// Hello: announce our id.
+	var hello [4]byte
+	binary.BigEndian.PutUint32(hello[:], uint32(p.id))
+	if _, err := conn.Write(hello[:]); err != nil {
+		conn.Close()
+		return fmt.Errorf("transport: peer %d hello to %d: %w", p.id, nid, err)
+	}
+	p.addConn(nid, conn)
+	return nil
+}
+
+func (p *Peer) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.listener.Accept()
+		if err != nil {
+			select {
+			case <-p.closed:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		// Read the hello to learn the remote id.
+		var hello [4]byte
+		conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+		if _, err := io.ReadFull(conn, hello[:]); err != nil {
+			conn.Close()
+			continue
+		}
+		conn.SetReadDeadline(time.Time{})
+		p.addConn(int(binary.BigEndian.Uint32(hello[:])), conn)
+	}
+}
+
+func (p *Peer) addConn(nid int, conn net.Conn) {
+	pc := &peerConn{conn: conn}
+	p.mu.Lock()
+	if old, ok := p.conns[nid]; ok {
+		old.conn.Close()
+	}
+	p.conns[nid] = pc
+	p.mu.Unlock()
+	p.wg.Add(1)
+	go p.readLoop(nid, conn)
+}
+
+// readLoop parses length-prefixed frames: [len u32][round u32][payload].
+func (p *Peer) readLoop(from int, conn net.Conn) {
+	defer p.wg.Done()
+	var header [8]byte
+	for {
+		if _, err := io.ReadFull(conn, header[:]); err != nil {
+			return
+		}
+		size := binary.BigEndian.Uint32(header[:4])
+		round := int(binary.BigEndian.Uint32(header[4:8]))
+		if size > maxFrameBytes {
+			conn.Close()
+			return
+		}
+		frame := make([]byte, size)
+		if _, err := io.ReadFull(conn, frame); err != nil {
+			return
+		}
+		select {
+		case p.inbox <- inFrame{from: from, round: round, frame: frame}:
+		case <-p.closed:
+			return
+		}
+	}
+}
+
+// Send transmits a round-tagged frame to one neighbor.
+func (p *Peer) Send(to, round int, frame []byte) error {
+	p.mu.Lock()
+	pc, ok := p.conns[to]
+	p.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("transport: peer %d has no connection to %d", p.id, to)
+	}
+	var header [8]byte
+	binary.BigEndian.PutUint32(header[:4], uint32(len(frame)))
+	binary.BigEndian.PutUint32(header[4:8], uint32(round))
+	pc.writeMu.Lock()
+	defer pc.writeMu.Unlock()
+	if _, err := pc.conn.Write(header[:]); err != nil {
+		return fmt.Errorf("transport: peer %d send header to %d: %w", p.id, to, err)
+	}
+	if _, err := pc.conn.Write(frame); err != nil {
+		return fmt.Errorf("transport: peer %d send frame to %d: %w", p.id, to, err)
+	}
+	p.bytesSent.Add(int64(len(frame)))
+	return nil
+}
+
+// Broadcast sends the frame to every connected neighbor and returns the
+// first error encountered (continuing to the rest regardless).
+func (p *Peer) Broadcast(round int, frame []byte) error {
+	p.mu.Lock()
+	ids := make([]int, 0, len(p.conns))
+	for nid := range p.conns {
+		ids = append(ids, nid)
+	}
+	p.mu.Unlock()
+	var firstErr error
+	for _, nid := range ids {
+		if err := p.Send(nid, round, frame); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Gather blocks until a frame for the given round has arrived from every
+// currently connected neighbor, or the timeout elapses; it returns
+// whatever arrived (possibly empty). Frames from other rounds are buffered
+// for their own Gather calls.
+func (p *Peer) Gather(round int, timeout time.Duration) map[int][]byte {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+
+	p.mu.Lock()
+	want := len(p.conns)
+	p.mu.Unlock()
+
+	for {
+		if got := p.takePending(round); len(got) >= want {
+			return got
+		}
+		select {
+		case m := <-p.inbox:
+			p.storePending(m)
+		case <-deadline.C:
+			return p.takePending(round)
+		case <-p.closed:
+			return p.takePending(round)
+		}
+	}
+}
+
+func (p *Peer) storePending(m inFrame) {
+	p.pendingMu.Lock()
+	defer p.pendingMu.Unlock()
+	byFrom, ok := p.pending[m.round]
+	if !ok {
+		byFrom = make(map[int][]byte)
+		p.pending[m.round] = byFrom
+	}
+	byFrom[m.from] = m.frame
+}
+
+// takePending returns a copy of the frames buffered for round. The bucket
+// itself is kept until ForgetRound so a late Gather retry still sees them.
+func (p *Peer) takePending(round int) map[int][]byte {
+	p.pendingMu.Lock()
+	defer p.pendingMu.Unlock()
+	byFrom := p.pending[round]
+	if byFrom == nil {
+		return map[int][]byte{}
+	}
+	out := make(map[int][]byte, len(byFrom))
+	for k, v := range byFrom {
+		out[k] = v
+	}
+	return out
+}
+
+// ForgetRound discards buffered frames for rounds at or before the given
+// round. Call it after integrating a round to bound memory.
+func (p *Peer) ForgetRound(round int) {
+	p.pendingMu.Lock()
+	defer p.pendingMu.Unlock()
+	for r := range p.pending {
+		if r <= round {
+			delete(p.pending, r)
+		}
+	}
+}
+
+// Close shuts down the listener and all connections.
+func (p *Peer) Close() error {
+	p.closeOnce.Do(func() {
+		close(p.closed)
+		p.listener.Close()
+		p.mu.Lock()
+		for _, pc := range p.conns {
+			pc.conn.Close()
+		}
+		p.mu.Unlock()
+	})
+	p.wg.Wait()
+	return nil
+}

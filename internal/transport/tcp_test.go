@@ -1,0 +1,214 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newSeededRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// startPeers launches n fully connected TCP peers on loopback.
+func startPeers(t *testing.T, n int) []*Peer {
+	t.Helper()
+	peers := make([]*Peer, n)
+	addrs := make(map[int]string, n)
+	for i := 0; i < n; i++ {
+		p, err := NewPeer(i, "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("peer %d: %v", i, err)
+		}
+		peers[i] = p
+		addrs[i] = p.Addr()
+		t.Cleanup(func() { p.Close() })
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			neighbors := make(map[int]string)
+			for j, a := range addrs {
+				if j != i {
+					neighbors[j] = a
+				}
+			}
+			errs[i] = peers[i].Connect(neighbors, 5*time.Second)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("connect peer %d: %v", i, err)
+		}
+	}
+	return peers
+}
+
+func TestPeerBroadcastGather(t *testing.T) {
+	peers := startPeers(t, 3)
+	var wg sync.WaitGroup
+	results := make([]map[int][]byte, 3)
+	for i, p := range peers {
+		wg.Add(1)
+		go func(i int, p *Peer) {
+			defer wg.Done()
+			if err := p.Broadcast(0, []byte(fmt.Sprintf("from-%d", i))); err != nil {
+				t.Errorf("broadcast %d: %v", i, err)
+				return
+			}
+			results[i] = p.Gather(0, 5*time.Second)
+		}(i, p)
+	}
+	wg.Wait()
+	for i, got := range results {
+		if len(got) != 2 {
+			t.Fatalf("peer %d gathered %d frames, want 2: %v", i, len(got), got)
+		}
+		for from, frame := range got {
+			if want := fmt.Sprintf("from-%d", from); string(frame) != want {
+				t.Errorf("peer %d got %q from %d, want %q", i, frame, from, want)
+			}
+		}
+	}
+}
+
+func TestPeerRoundSeparation(t *testing.T) {
+	peers := startPeers(t, 2)
+	// Peer 0 sends rounds 1 and 2 back-to-back; peer 1 must see them
+	// separately.
+	if err := peers[0].Send(1, 1, []byte("r1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := peers[0].Send(1, 2, []byte("r2")); err != nil {
+		t.Fatal(err)
+	}
+	got1 := peers[1].Gather(1, 2*time.Second)
+	if string(got1[0]) != "r1" {
+		t.Errorf("round 1 gather = %v", got1)
+	}
+	got2 := peers[1].Gather(2, 2*time.Second)
+	if string(got2[0]) != "r2" {
+		t.Errorf("round 2 gather = %v", got2)
+	}
+}
+
+func TestPeerGatherTimeoutOnStraggler(t *testing.T) {
+	peers := startPeers(t, 3)
+	// Only peer 1 sends; peer 2 stays silent (straggler).
+	if err := peers[1].Send(0, 0, []byte("present")); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	got := peers[0].Gather(0, 300*time.Millisecond)
+	elapsed := time.Since(start)
+	if len(got) != 1 || string(got[1]) != "present" {
+		t.Errorf("gather = %v, want only peer 1's frame", got)
+	}
+	if elapsed < 250*time.Millisecond {
+		t.Errorf("gather returned after %v, expected to wait out the timeout", elapsed)
+	}
+}
+
+func TestPeerBytesSent(t *testing.T) {
+	peers := startPeers(t, 2)
+	payload := make([]byte, 1000)
+	if err := peers[0].Send(1, 0, payload); err != nil {
+		t.Fatal(err)
+	}
+	if got := peers[0].BytesSent(); got != 1000 {
+		t.Errorf("BytesSent = %d, want 1000", got)
+	}
+	if got := peers[1].BytesSent(); got != 0 {
+		t.Errorf("receiver BytesSent = %d, want 0", got)
+	}
+}
+
+func TestPeerForgetRound(t *testing.T) {
+	peers := startPeers(t, 2)
+	if err := peers[0].Send(1, 0, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	// Let the frame arrive and be buffered.
+	got := peers[1].Gather(0, 2*time.Second)
+	if len(got) != 1 {
+		t.Fatalf("gather = %v", got)
+	}
+	peers[1].ForgetRound(0)
+	if got := peers[1].Gather(0, 50*time.Millisecond); len(got) != 0 {
+		t.Errorf("forgotten round still gathered: %v", got)
+	}
+}
+
+func TestPeerSendToUnknownNeighbor(t *testing.T) {
+	p, err := NewPeer(0, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.Send(5, 0, []byte("x")); err == nil {
+		t.Error("send to unconnected neighbor accepted")
+	}
+}
+
+func TestPeerConnectRejectsSelf(t *testing.T) {
+	p, err := NewPeer(3, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.Connect(map[int]string{3: p.Addr()}, time.Second); err == nil {
+		t.Error("self-neighbor accepted")
+	}
+}
+
+func TestPeerCloseIdempotent(t *testing.T) {
+	p, err := NewPeer(0, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeerManyRoundsUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping load test in -short mode")
+	}
+	peers := startPeers(t, 4)
+	const rounds = 30
+	var wg sync.WaitGroup
+	failures := make([]error, len(peers))
+	for i, p := range peers {
+		wg.Add(1)
+		go func(i int, p *Peer) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				payload := []byte(fmt.Sprintf("%d:%d", i, r))
+				if err := p.Broadcast(r, payload); err != nil {
+					failures[i] = err
+					return
+				}
+				got := p.Gather(r, 5*time.Second)
+				if len(got) != 3 {
+					failures[i] = fmt.Errorf("round %d: got %d frames", r, len(got))
+					return
+				}
+				p.ForgetRound(r)
+			}
+		}(i, p)
+	}
+	wg.Wait()
+	for i, err := range failures {
+		if err != nil {
+			t.Errorf("peer %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package weights
+
+import (
+	"fmt"
+
+	"github.com/snapml/snap/internal/graph"
+)
+
+// Plan is the outcome of neighbor-set planning: the derived topology and
+// the weight matrix over it.
+type Plan struct {
+	Topology *graph.Graph
+	Weights  *Result
+	// Dropped counts the complete-graph edges eliminated because their
+	// optimized weight fell below the threshold.
+	Dropped int
+}
+
+// PlanNeighbors implements the paper's §IV-D neighbor-set planning: when
+// no physical neighbor information is available, assume every edge server
+// can talk to every other, optimize the weight matrix over the complete
+// graph, and then dismiss neighbor relations whose optimized weight is
+// below threshold — they contribute little mixing but would cost
+// bandwidth every round. The weight matrix is then re-optimized over the
+// pruned topology.
+//
+// Pruning never disconnects the network: edges are considered in
+// ascending weight order and an edge is kept, regardless of weight, if
+// removing it would disconnect the current topology.
+func PlanNeighbors(n int, threshold float64, p BoundParams, opts Options) (*Plan, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("weights: cannot plan neighbors for %d nodes", n)
+	}
+	if threshold < 0 {
+		return nil, fmt.Errorf("weights: negative threshold %g", threshold)
+	}
+	full := graph.Complete(n)
+	res, err := OptimizeBest(full, p, opts)
+	if err != nil {
+		return nil, fmt.Errorf("weights: optimizing over the complete graph: %w", err)
+	}
+
+	pruned := full.Clone()
+	dropped := 0
+	// Ascending-weight order: drop the least useful relations first.
+	edges := full.Edges()
+	for swept := true; swept; {
+		swept = false
+		var weakest *graph.Edge
+		weakestW := threshold
+		for i := range edges {
+			e := edges[i]
+			if !pruned.HasEdge(e.U, e.V) {
+				continue
+			}
+			if w := res.W.At(e.U, e.V); w < weakestW {
+				weakest = &edges[i]
+				weakestW = w
+			}
+		}
+		if weakest == nil {
+			break
+		}
+		pruned.RemoveEdge(weakest.U, weakest.V)
+		if pruned.IsConnected() {
+			dropped++
+			swept = true
+		} else {
+			pruned.AddEdge(weakest.U, weakest.V)
+			// Mark as untouchable by pretending its weight is above
+			// threshold: simplest is to remove it from consideration.
+			for i := range edges {
+				if edges[i] == *weakest {
+					edges[i] = edges[len(edges)-1]
+					edges = edges[:len(edges)-1]
+					break
+				}
+			}
+			swept = true
+		}
+	}
+
+	final, err := OptimizeBest(pruned, p, opts)
+	if err != nil {
+		return nil, fmt.Errorf("weights: re-optimizing over the pruned topology: %w", err)
+	}
+	return &Plan{Topology: pruned, Weights: final, Dropped: dropped}, nil
+}

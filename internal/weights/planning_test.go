@@ -1,0 +1,85 @@
+package weights
+
+import (
+	"testing"
+)
+
+func TestPlanNeighborsBasics(t *testing.T) {
+	plan, err := PlanNeighbors(8, 0.05, BoundParams{}, Options{Iterations: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Topology.N() != 8 {
+		t.Fatalf("planned topology has %d nodes", plan.Topology.N())
+	}
+	if !plan.Topology.IsConnected() {
+		t.Error("planning disconnected the network")
+	}
+	if !plan.Weights.W.IsDoublyStochastic(1e-8) {
+		t.Error("planned weight matrix not doubly stochastic")
+	}
+	// The planned weights must live on the planned topology.
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if i != j && !plan.Topology.HasEdge(i, j) && plan.Weights.W.At(i, j) != 0 {
+				t.Errorf("weight %v on dropped edge {%d,%d}", plan.Weights.W.At(i, j), i, j)
+			}
+		}
+	}
+}
+
+func TestPlanNeighborsZeroThresholdKeepsCompleteGraph(t *testing.T) {
+	plan, err := PlanNeighbors(5, 0, BoundParams{}, Options{Iterations: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a zero threshold only exactly-zero weights could drop; on K5
+	// the optimizer keeps all edges useful, so nothing is pruned.
+	if plan.Dropped != 0 && plan.Topology.NumEdges()+plan.Dropped != 10 {
+		t.Errorf("edge bookkeeping off: %d edges + %d dropped", plan.Topology.NumEdges(), plan.Dropped)
+	}
+	if !plan.Topology.IsConnected() {
+		t.Error("disconnected")
+	}
+}
+
+func TestPlanNeighborsHighThresholdStaysConnected(t *testing.T) {
+	// Even an absurd threshold must not disconnect the network.
+	plan, err := PlanNeighbors(10, 10, BoundParams{}, Options{Iterations: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Topology.IsConnected() {
+		t.Fatal("planning disconnected the network under a high threshold")
+	}
+	// A spanning structure must survive: at least n-1 edges.
+	if plan.Topology.NumEdges() < 9 {
+		t.Errorf("only %d edges survived", plan.Topology.NumEdges())
+	}
+	// And it should have pruned down close to a tree.
+	if plan.Topology.NumEdges() > 20 {
+		t.Errorf("high threshold kept %d edges; expected aggressive pruning", plan.Topology.NumEdges())
+	}
+}
+
+func TestPlanNeighborsValidation(t *testing.T) {
+	if _, err := PlanNeighbors(0, 0.1, BoundParams{}, Options{}); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := PlanNeighbors(4, -1, BoundParams{}, Options{}); err == nil {
+		t.Error("negative threshold accepted")
+	}
+}
+
+func TestPlanNeighborsReducesDegreeVsComplete(t *testing.T) {
+	plan, err := PlanNeighbors(12, 0.06, BoundParams{}, Options{Iterations: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Topology.NumEdges() >= 12*11/2 {
+		t.Skip("optimizer kept the complete graph at this threshold — acceptable but nothing to assert")
+	}
+	if plan.Dropped == 0 {
+		t.Error("Dropped = 0 despite missing edges")
+	}
+}

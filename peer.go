@@ -1,0 +1,79 @@
+package snap
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/snapml/snap/internal/core"
+	"github.com/snapml/snap/internal/weights"
+)
+
+// PeerNode is a real TCP edge server (the paper's testbed mode). Create
+// one per process (or per goroutine) with NewPeerNode, Connect it to its
+// neighbors, then Run a number of rounds.
+type PeerNode = core.PeerNode
+
+// PeerConfig configures one TCP edge server. Every participating node
+// must use the same Topology, Model, Alpha, Policy and Seed so the
+// cluster executes a single coherent EXTRA iteration.
+type PeerConfig struct {
+	// ID is this node's index in the topology.
+	ID int
+	// Topology is the shared neighbor graph; the node mixes with
+	// Topology.Neighbors(ID).
+	Topology *Topology
+	// Model is the shared architecture.
+	Model Model
+	// Data is this node's local partition.
+	Data *Dataset
+	// Alpha is the EXTRA step size.
+	Alpha float64
+	// Policy selects SNAP / SNAP0 / SNO (default SNAP).
+	Policy SendPolicy
+	// APE tunes Algorithm 1.
+	APE APEConfig
+	// BatchSize limits per-iteration gradients (0 = full).
+	BatchSize int
+	// Seed derives the shared initial parameters; it must match across
+	// nodes.
+	Seed int64
+	// ListenAddr is this node's TCP listen address ("127.0.0.1:0" for an
+	// ephemeral port; neighbors are given to Connect after every listener
+	// is up).
+	ListenAddr string
+	// RoundTimeout bounds the per-round wait for stragglers (default 5s).
+	RoundTimeout time.Duration
+}
+
+// NewPeerNode builds a TCP edge server with the Metropolis weight row for
+// its topology position. (Weight-matrix optimization requires global
+// spectral information, so multi-process deployments either precompute
+// the matrix centrally or use the Metropolis weights, as here.)
+func NewPeerNode(cfg PeerConfig) (*PeerNode, error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("snap: peer config requires a topology")
+	}
+	if cfg.ID < 0 || cfg.ID >= cfg.Topology.N() {
+		return nil, fmt.Errorf("snap: peer id %d out of range for %d-node topology", cfg.ID, cfg.Topology.N())
+	}
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("snap: peer config requires a model")
+	}
+	w := weights.Metropolis(cfg.Topology, 0)
+	return core.NewPeerNode(core.PeerNodeConfig{
+		Engine: core.EngineConfig{
+			ID:        cfg.ID,
+			Model:     cfg.Model,
+			Data:      cfg.Data,
+			Alpha:     cfg.Alpha,
+			WRow:      w.Row(cfg.ID),
+			Neighbors: cfg.Topology.Neighbors(cfg.ID),
+			BatchSize: cfg.BatchSize,
+			Policy:    cfg.Policy,
+			APE:       cfg.APE,
+			Init:      cfg.Model.InitParams(cfg.Seed),
+		},
+		ListenAddr:   cfg.ListenAddr,
+		RoundTimeout: cfg.RoundTimeout,
+	})
+}

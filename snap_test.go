@@ -1,0 +1,199 @@
+package snap_test
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/snapml/snap"
+)
+
+// facadeWorkload builds a small shared workload through the public API
+// only.
+func facadeWorkload(t *testing.T, servers int) (snap.Model, []*snap.Dataset, *snap.Dataset) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(100))
+	data := snap.SyntheticCredit(snap.CreditConfig{Samples: 1500}, rng)
+	train, test := data.Split(0.85, rng)
+	parts, err := train.Partition(servers, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap.NewLinearSVM(data.NumFeature), parts, test
+}
+
+func TestTopologyConstructors(t *testing.T) {
+	if g := snap.CompleteTopology(4); g.NumEdges() != 6 {
+		t.Errorf("K4 edges = %d", g.NumEdges())
+	}
+	if g := snap.RingTopology(5); g.NumEdges() != 5 {
+		t.Errorf("C5 edges = %d", g.NumEdges())
+	}
+	g := snap.RandomTopology(30, 3, 7)
+	if !g.IsConnected() {
+		t.Error("random topology disconnected")
+	}
+	// Deterministic per seed.
+	h := snap.RandomTopology(30, 3, 7)
+	if g.NumEdges() != h.NumEdges() {
+		t.Error("RandomTopology not deterministic")
+	}
+}
+
+func TestTrainThroughFacade(t *testing.T) {
+	model, parts, test := facadeWorkload(t, 4)
+	res, err := snap.Train(snap.Config{
+		Topology:      snap.CompleteTopology(4),
+		Model:         model,
+		Partitions:    parts,
+		Test:          test,
+		Alpha:         0.1,
+		Policy:        snap.SNAP,
+		MaxIterations: 200,
+		Convergence:   snap.ConvergenceDetector{RelTol: 1e-3, Patience: 3, ConsensusTol: 0.02},
+		Seed:          1,
+		EvalEvery:     50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Errorf("facade SNAP run did not converge in %d iterations", res.Iterations)
+	}
+	if res.FinalAccuracy < 0.8 {
+		t.Errorf("accuracy = %v", res.FinalAccuracy)
+	}
+	if res.TotalCost <= 0 {
+		t.Error("no communication recorded")
+	}
+}
+
+func TestTrainValidatesThroughFacade(t *testing.T) {
+	model, parts, _ := facadeWorkload(t, 4)
+	if _, err := snap.Train(snap.Config{Model: model, Partitions: parts, Alpha: 0.1}); err == nil {
+		t.Error("missing topology accepted")
+	}
+}
+
+func TestBaselinesThroughFacade(t *testing.T) {
+	model, parts, test := facadeWorkload(t, 4)
+	cfg := snap.BaselineConfig{
+		Topology: snap.CompleteTopology(4), Model: model, Partitions: parts, Test: test,
+		Alpha: 0.1, MaxIterations: 200, EvalEvery: 50, Seed: 2,
+		Convergence: snap.ConvergenceDetector{RelTol: 1e-3, Patience: 3},
+	}
+	central, err := snap.TrainCentralized(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := snap.TrainPS(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ternCfg := cfg
+	ternCfg.BatchSize = 2
+	tern, err := snap.TrainTernGrad(ternCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if central.Scheme != "centralized" || ps.Scheme != "ps" || tern.Scheme != "terngrad" {
+		t.Errorf("schemes = %q %q %q", central.Scheme, ps.Scheme, tern.Scheme)
+	}
+	if math.Abs(central.FinalAccuracy-ps.FinalAccuracy) > 0.03 {
+		t.Errorf("PS accuracy %v far from centralized %v", ps.FinalAccuracy, central.FinalAccuracy)
+	}
+	if ps.TotalCost <= 0 || tern.TotalCost <= 0 {
+		t.Error("baseline costs missing")
+	}
+}
+
+func TestPeerNodesThroughFacade(t *testing.T) {
+	const servers = 3
+	model, parts, _ := facadeWorkload(t, servers)
+	topo := snap.CompleteTopology(servers)
+
+	nodes := make([]*snap.PeerNode, servers)
+	addrs := make(map[int]string, servers)
+	for i := range nodes {
+		node, err := snap.NewPeerNode(snap.PeerConfig{
+			ID: i, Topology: topo, Model: model, Data: parts[i],
+			Alpha: 0.1, Policy: snap.SNAP0, Seed: 3,
+			ListenAddr: "127.0.0.1:0", RoundTimeout: 5 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+		addrs[i] = node.Addr()
+		defer node.Close()
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, servers)
+	for i, node := range nodes {
+		wg.Add(1)
+		go func(i int, node *snap.PeerNode) {
+			defer wg.Done()
+			neighbors := make(map[int]string)
+			for _, j := range topo.Neighbors(i) {
+				neighbors[j] = addrs[j]
+			}
+			if err := node.Connect(neighbors); err != nil {
+				errs[i] = err
+				return
+			}
+			_, errs[i] = node.Run(20)
+		}(i, node)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+	}
+	// Nodes approached consensus.
+	ref := nodes[0].Engine().Params()
+	for i, node := range nodes[1:] {
+		if d := node.Engine().Params().Sub(ref).NormInf(); d > 0.1 {
+			t.Errorf("node %d disagreement %v after 20 rounds", i+1, d)
+		}
+	}
+}
+
+func TestPeerConfigValidation(t *testing.T) {
+	model, parts, _ := facadeWorkload(t, 3)
+	topo := snap.CompleteTopology(3)
+	if _, err := snap.NewPeerNode(snap.PeerConfig{ID: 0, Model: model, Data: parts[0], Alpha: 0.1, ListenAddr: "127.0.0.1:0"}); err == nil {
+		t.Error("missing topology accepted")
+	}
+	if _, err := snap.NewPeerNode(snap.PeerConfig{ID: 9, Topology: topo, Model: model, Data: parts[0], Alpha: 0.1, ListenAddr: "127.0.0.1:0"}); err == nil {
+		t.Error("out-of-range id accepted")
+	}
+	if _, err := snap.NewPeerNode(snap.PeerConfig{ID: 0, Topology: topo, Data: parts[0], Alpha: 0.1, ListenAddr: "127.0.0.1:0"}); err == nil {
+		t.Error("missing model accepted")
+	}
+}
+
+func TestStragglerTrainingThroughFacade(t *testing.T) {
+	model, parts, test := facadeWorkload(t, 5)
+	res, err := snap.Train(snap.Config{
+		Topology:      snap.RandomTopology(5, 3, 9),
+		Model:         model,
+		Partitions:    parts,
+		Test:          test,
+		Alpha:         0.1,
+		Policy:        snap.SNAP,
+		FailureRate:   0.05,
+		MaxIterations: 300,
+		Convergence:   snap.ConvergenceDetector{RelTol: 1e-3, Patience: 3, ConsensusTol: 0.05},
+		Seed:          4,
+		EvalEvery:     100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalAccuracy < 0.78 {
+		t.Errorf("straggler accuracy = %v", res.FinalAccuracy)
+	}
+}
