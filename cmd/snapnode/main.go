@@ -41,19 +41,42 @@ func main() {
 		dataSeed = flag.Int64("data-seed", 2, "shared seed for the synthetic dataset")
 		samples  = flag.Int("samples", 12000, "total synthetic samples across the cluster")
 		timeout  = flag.Duration("round-timeout", 5*time.Second, "per-round straggler timeout")
+
+		connectTimeout = flag.Duration("connect-timeout", 10*time.Second, "cluster-formation timeout")
+		refreshEvery   = flag.Int("refresh-every", 0, "broadcast full parameters every N rounds (0 = never); heals staleness on lossy links")
+		restartEvery   = flag.Int("restart-every", 0, "restart the EXTRA recursion every N rounds (0 = never); bounds staleness bias")
+		fullSendRound0 = flag.Bool("full-send-round0", false, "broadcast full parameters in round 0 (required for non-identical inits)")
+		verbose        = flag.Bool("verbose", false, "log tolerated faults (failed sends, reconnects, refreshes)")
 	)
 	flag.Parse()
 
 	if err := run(*id, *peersArg, *topology, *degree, *rounds, *alpha, *policy,
-		*seed, *dataSeed, *samples, *timeout); err != nil {
+		*seed, *dataSeed, *samples, *timeout,
+		faultOpts{
+			ConnectTimeout: *connectTimeout,
+			RefreshEvery:   *refreshEvery,
+			RestartEvery:   *restartEvery,
+			FullSendRound0: *fullSendRound0,
+			Verbose:        *verbose,
+		}); err != nil {
 		fmt.Fprintln(os.Stderr, "snapnode:", err)
 		os.Exit(1)
 	}
 }
 
+// faultOpts bundles the fault-tolerance knobs so run's signature stays
+// manageable.
+type faultOpts struct {
+	ConnectTimeout time.Duration
+	RefreshEvery   int
+	RestartEvery   int
+	FullSendRound0 bool
+	Verbose        bool
+}
+
 func run(id int, peersArg, topology string, degree float64, rounds int,
 	alpha float64, policyName string, seed, dataSeed int64, samples int,
-	timeout time.Duration) error {
+	timeout time.Duration, fo faultOpts) error {
 	peers := strings.Split(peersArg, ",")
 	n := len(peers)
 	if peersArg == "" || n < 2 {
@@ -96,17 +119,29 @@ func run(id int, peersArg, topology string, degree float64, rounds int,
 		return err
 	}
 
+	var logf func(format string, args ...any)
+	if fo.Verbose {
+		logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
 	model := snap.NewLinearSVM(ds.NumFeature)
 	node, err := snap.NewPeerNode(snap.PeerConfig{
-		ID:           id,
-		Topology:     topo,
-		Model:        model,
-		Data:         parts[id],
-		Alpha:        alpha,
-		Policy:       policy,
-		Seed:         seed,
-		ListenAddr:   peers[id],
-		RoundTimeout: timeout,
+		ID:             id,
+		Topology:       topo,
+		Model:          model,
+		Data:           parts[id],
+		Alpha:          alpha,
+		Policy:         policy,
+		Seed:           seed,
+		RefreshEvery:   fo.RefreshEvery,
+		RestartEvery:   fo.RestartEvery,
+		FullSendRound0: fo.FullSendRound0,
+		ListenAddr:     peers[id],
+		RoundTimeout:   timeout,
+		ConnectTimeout: fo.ConnectTimeout,
+		Logf:           logf,
 	})
 	if err != nil {
 		return err
@@ -137,5 +172,13 @@ func run(id int, peersArg, topology string, degree float64, rounds int,
 	}
 	fmt.Printf("node %d done in %v: local loss %.4f, accuracy %.4f, bytes sent %d\n",
 		id, elapsed.Round(time.Millisecond), lastLoss, localAcc, node.BytesSent())
+	if node.SendFailures() > 0 || node.Refreshes() > 0 {
+		reconnects := 0
+		for _, st := range node.LinkStats() {
+			reconnects += st.Reconnects
+		}
+		fmt.Printf("node %d tolerated faults: %d failed broadcast(s), %d reconnect(s), %d full refresh(es)\n",
+			id, node.SendFailures(), reconnects, node.Refreshes())
+	}
 	return nil
 }

@@ -40,7 +40,7 @@ func TestThreeNodeCluster(t *testing.T) {
 		go func(id int) {
 			defer wg.Done()
 			errs[id] = run(id, peers, "complete", 3, 15, 0.1, "snap",
-				7, 8, 600, 5*time.Second)
+				7, 8, 600, 5*time.Second, faultOpts{})
 		}(id)
 	}
 	wg.Wait()
@@ -57,16 +57,16 @@ func TestRunValidation(t *testing.T) {
 		f    func() error
 	}{
 		{"noPeers", func() error {
-			return run(0, "", "complete", 3, 1, 0.1, "snap", 1, 2, 100, time.Second)
+			return run(0, "", "complete", 3, 1, 0.1, "snap", 1, 2, 100, time.Second, faultOpts{})
 		}},
 		{"idOutOfRange", func() error {
-			return run(5, "a:1,b:2", "complete", 3, 1, 0.1, "snap", 1, 2, 100, time.Second)
+			return run(5, "a:1,b:2", "complete", 3, 1, 0.1, "snap", 1, 2, 100, time.Second, faultOpts{})
 		}},
 		{"badTopology", func() error {
-			return run(0, "a:1,b:2", "mesh", 3, 1, 0.1, "snap", 1, 2, 100, time.Second)
+			return run(0, "a:1,b:2", "mesh", 3, 1, 0.1, "snap", 1, 2, 100, time.Second, faultOpts{})
 		}},
 		{"badPolicy", func() error {
-			return run(0, "a:1,b:2", "complete", 3, 1, 0.1, "blast", 1, 2, 100, time.Second)
+			return run(0, "a:1,b:2", "complete", 3, 1, 0.1, "blast", 1, 2, 100, time.Second, faultOpts{})
 		}},
 	}
 	for _, tc := range cases {

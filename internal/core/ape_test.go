@@ -1,8 +1,15 @@
 package core
 
 import (
+	"bytes"
 	"math"
 	"testing"
+
+	"github.com/snapml/snap/internal/codec"
+	"github.com/snapml/snap/internal/graph"
+	"github.com/snapml/snap/internal/linalg"
+	"github.com/snapml/snap/internal/model"
+	"github.com/snapml/snap/internal/weights"
 )
 
 func TestAPEControllerRequiresAlpha(t *testing.T) {
@@ -114,5 +121,99 @@ func TestAPEControllerStageCounter(t *testing.T) {
 	}
 	if c.Stage() != 3 {
 		t.Errorf("stage = %d after many iterations, want 3", c.Stage())
+	}
+}
+
+// TestAPEZeroInitDegradesToSnapZero pins the zero-init edge case: with a
+// zero (or sub-Epsilon) initial parameter vector, T₀ = InitialFraction ×
+// mean|x⁰| starts below Epsilon, so the schedule must exhaust immediately
+// with a zero send threshold — SNAP degrades to SNAP-0 (send every
+// changed parameter) rather than silently withholding updates against a
+// meaningless threshold. The engine-level check runs a SNAP cluster and a
+// SNAP-0 cluster from the same zero init in lockstep and requires
+// bit-identical updates and iterates.
+func TestAPEZeroInitDegradesToSnapZero(t *testing.T) {
+	c, err := NewAPEController(APEConfig{Alpha: 0.1}, 0)
+	if err != nil {
+		t.Fatalf("zero-init controller must construct gracefully, got %v", err)
+	}
+	if !c.Exhausted() {
+		t.Error("zero-init schedule not exhausted immediately")
+	}
+	if got := c.SendThreshold(); got != 0 {
+		t.Errorf("zero-init send threshold = %v, want 0 (exact SNAP-0 behavior)", got)
+	}
+
+	const (
+		n      = 3
+		rounds = 15
+	)
+	_, parts := smallPartitions(t, n, 40, 5)
+	g := graph.Complete(n)
+	w := weights.Metropolis(g, 0)
+	m := model.NewLinearSVM(8)
+	zeroInit := make(linalg.Vector, m.NumParams())
+
+	build := func(policy SendPolicy) []*Engine {
+		engines := make([]*Engine, n)
+		for i := 0; i < n; i++ {
+			eng, err := NewEngine(EngineConfig{
+				ID: i, Model: m, Data: parts[i], Alpha: 0.1,
+				WRow: w.Row(i), Neighbors: g.Neighbors(i),
+				Policy: policy, Init: zeroInit,
+			})
+			if err != nil {
+				t.Fatalf("policy %v node %d: %v", policy, i, err)
+			}
+			engines[i] = eng
+		}
+		return engines
+	}
+	snap := build(SendSelected)
+	snap0 := build(SendChanged)
+
+	step := func(engines []*Engine, round int) [][]byte {
+		frames := make([][]byte, n)
+		for i, e := range engines {
+			u, err := e.BuildUpdate(round)
+			if err != nil {
+				t.Fatal(err)
+			}
+			frame, _, err := codec.Encode(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			frames[i] = frame
+		}
+		for i, e := range engines {
+			var updates []*codec.Update
+			for _, j := range g.Neighbors(i) {
+				u, err := codec.Decode(frames[j])
+				if err != nil {
+					t.Fatal(err)
+				}
+				updates = append(updates, u)
+			}
+			if err := e.Integrate(updates); err != nil {
+				t.Fatal(err)
+			}
+			e.Step(round)
+		}
+		return frames
+	}
+
+	for round := 0; round < rounds; round++ {
+		fa := step(snap, round)
+		fb := step(snap0, round)
+		for i := range fa {
+			if !bytes.Equal(fa[i], fb[i]) {
+				t.Fatalf("round %d node %d: zero-init SNAP frame differs from SNAP-0", round, i)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !snap[i].Params().Equal(snap0[i].Params(), 0) {
+			t.Errorf("node %d: zero-init SNAP iterate diverged from SNAP-0", i)
+		}
 	}
 }

@@ -109,6 +109,12 @@ type Engine struct {
 	lastSent linalg.Vector // values the neighbors currently hold for us
 	ape      *APEController
 
+	// forceFull makes the next BuildUpdate transmit the complete
+	// parameter vector regardless of policy — set after a neighbor
+	// reconnects, whose view of us is stale in ways the selective-diff
+	// protocol cannot observe.
+	forceFull bool
+
 	restarts int
 }
 
@@ -186,6 +192,10 @@ func (e *Engine) BuildUpdate(round int) (*codec.Update, error) {
 	if e.cfg.FullSendRound0 && round == 0 {
 		policy = SendAll
 	}
+	if e.forceFull {
+		policy = SendAll
+		e.forceFull = false
+	}
 	switch policy {
 	case SendAll:
 		u := &codec.Update{Sender: e.cfg.ID, Round: round, NumParams: len(e.x)}
@@ -215,6 +225,15 @@ func (e *Engine) BuildUpdate(round int) (*codec.Update, error) {
 		return nil, fmt.Errorf("core: node %d has unknown send policy %d", e.cfg.ID, int(e.cfg.Policy))
 	}
 }
+
+// RequestFullSend forces the next BuildUpdate to transmit the complete
+// parameter vector regardless of policy. PeerNode calls this after a
+// neighbor link reconnects: a dropped or reset connection leaves the
+// neighbor holding stale values the selective-diff protocol would never
+// retransmit, and EXTRA's accumulated correction term turns that silent
+// staleness into a permanent bias. Not safe for concurrent use with
+// BuildUpdate (call from the training-loop goroutine).
+func (e *Engine) RequestFullSend() { e.forceFull = true }
 
 func (e *Engine) markSent(u *codec.Update) {
 	for i, idx := range u.Indices {

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"fmt"
+	"sync/atomic"
 	"time"
 
 	"github.com/snapml/snap/internal/codec"
@@ -13,7 +13,10 @@ import (
 // mode: each node is a process exchanging frames over sockets).
 type PeerNodeConfig struct {
 	// Engine configures the local EXTRA engine. Engine.Neighbors must
-	// match the keys of NeighborAddrs.
+	// match the keys of NeighborAddrs. The engine's repair knobs
+	// (RefreshEvery, FullSendRound0, RestartEvery) apply to the TCP path
+	// exactly as to the simulator and are what make selective
+	// transmission safe on flaky links.
 	Engine EngineConfig
 	// ListenAddr is this node's TCP listen address (e.g. "127.0.0.1:0").
 	ListenAddr string
@@ -22,17 +25,40 @@ type PeerNodeConfig struct {
 	RoundTimeout time.Duration
 	// ConnectTimeout bounds cluster formation (default 10s).
 	ConnectTimeout time.Duration
+	// Logf, when set, receives diagnostic messages about tolerated faults
+	// (failed sends, reconnects). Nil discards them.
+	Logf func(format string, args ...any)
+	// Faults, when set, injects deterministic transport failures (drop,
+	// delay, reset at a given round) — for testing fault tolerance
+	// without real network flakiness.
+	Faults *transport.FaultSet
 }
 
 // PeerNode runs a SNAP engine over a real TCP transport. Synchronization
 // follows the paper's RIP-like model: every round the node broadcasts its
 // selected parameters, then waits (bounded by RoundTimeout) for the
-// round's frame from each neighbor; missing neighbors are treated as
-// stragglers and their last-known parameters are reused.
+// round's frame from each currently connected neighbor; missing neighbors
+// are treated as stragglers and their last-known parameters are reused.
+//
+// The node is fault tolerant end to end: a single failed send is logged
+// and tolerated (the receiver already handles the missing frame as a
+// straggler), dead links are evicted so later rounds do not wait for
+// them, the transport reconnects with backoff, and after a reconnect the
+// node broadcasts its complete parameter vector once — EXTRA's
+// accumulated correction history makes a silently stale neighbor view
+// poisonous, so the refresh is required for re-convergence, not merely
+// nice to have.
 type PeerNode struct {
 	cfg    PeerNodeConfig
 	engine *Engine
 	peer   *transport.Peer
+
+	// needRefresh is set by the transport's reconnect callback and
+	// consumed at the top of the next round: the node sends its full
+	// parameter vector so the reconnected neighbor's stale view heals.
+	needRefresh  atomic.Bool
+	sendFailures atomic.Int64
+	refreshes    atomic.Int64
 }
 
 // NewPeerNode builds the engine and starts listening. Call Connect before
@@ -52,7 +78,21 @@ func NewPeerNode(cfg PeerNodeConfig) (*PeerNode, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &PeerNode{cfg: cfg, engine: eng, peer: peer}, nil
+	pn := &PeerNode{cfg: cfg, engine: eng, peer: peer}
+	peer.SetReconnectHandler(func(nid int) {
+		pn.needRefresh.Store(true)
+		pn.logf("node %d: link to %d reconnected; scheduling full-parameter refresh", cfg.Engine.ID, nid)
+	})
+	if cfg.Faults != nil {
+		peer.SetFaults(cfg.Faults)
+	}
+	return pn, nil
+}
+
+func (pn *PeerNode) logf(format string, args ...any) {
+	if pn.cfg.Logf != nil {
+		pn.cfg.Logf(format, args...)
+	}
 }
 
 // Addr returns the node's actual listen address (useful with port 0).
@@ -65,6 +105,21 @@ func (pn *PeerNode) Engine() *Engine { return pn.engine }
 // the testbed measurement the paper reports in Fig. 4.
 func (pn *PeerNode) BytesSent() int64 { return pn.peer.BytesSent() }
 
+// SendFailures reports how many broadcasts hit at least one failed
+// neighbor link (each was tolerated, not fatal).
+func (pn *PeerNode) SendFailures() int64 { return pn.sendFailures.Load() }
+
+// Refreshes reports how many reconnect-triggered full-parameter
+// broadcasts this node has performed.
+func (pn *PeerNode) Refreshes() int64 { return pn.refreshes.Load() }
+
+// LinkStats returns per-neighbor connect/disconnect/reconnect counters
+// from the transport.
+func (pn *PeerNode) LinkStats() map[int]transport.LinkStats { return pn.peer.Stats() }
+
+// Healthy reports whether the link to neighbor nid is currently up.
+func (pn *PeerNode) Healthy(nid int) bool { return pn.peer.Healthy(nid) }
+
 // Connect establishes connections to the given neighbors (node id →
 // listen address). It is a separate step from construction so clusters on
 // ephemeral ports can start all listeners first and exchange addresses
@@ -76,9 +131,18 @@ func (pn *PeerNode) Connect(neighborAddrs map[int]string) error {
 // Run executes the given number of rounds and returns the per-iteration
 // trace (loss is this node's local objective; global metrics are the
 // caller's concern since no single node sees the whole cluster).
+//
+// Per the paper's straggler semantics a failed neighbor link never aborts
+// the node: the send error is recorded and the round proceeds; the
+// receiver reuses the neighbor's last-known parameters. Only local errors
+// (engine, codec) are fatal.
 func (pn *PeerNode) Run(rounds int) (*metrics.Trace, error) {
 	trace := &metrics.Trace{}
 	for round := 0; round < rounds; round++ {
+		if pn.needRefresh.Swap(false) {
+			pn.engine.RequestFullSend()
+			pn.refreshes.Add(1)
+		}
 		u, err := pn.engine.BuildUpdate(round)
 		if err != nil {
 			return trace, err
@@ -88,15 +152,24 @@ func (pn *PeerNode) Run(rounds int) (*metrics.Trace, error) {
 			return trace, err
 		}
 		if err := pn.peer.Broadcast(round, frame); err != nil {
-			return trace, fmt.Errorf("core: node %d broadcast round %d: %w", pn.engine.ID(), round, err)
+			// A dead link mid-broadcast is a straggler, not a node
+			// failure: the receiver reuses our last parameters and the
+			// transport reconnects in the background.
+			pn.sendFailures.Add(1)
+			pn.logf("node %d: broadcast round %d: %v (continuing; link treated as straggler)",
+				pn.engine.ID(), round, err)
 		}
 
 		inbox := pn.peer.Gather(round, pn.cfg.RoundTimeout)
 		updates := make([]*codec.Update, 0, len(inbox))
-		for _, f := range inbox {
+		for from, f := range inbox {
 			dec, err := codec.Decode(f)
 			if err != nil {
-				return trace, fmt.Errorf("core: node %d decoding round %d: %w", pn.engine.ID(), round, err)
+				// A corrupt frame from one neighbor is that neighbor's
+				// problem, not ours: drop it and reuse their last view.
+				pn.logf("node %d: dropping corrupt round-%d frame from %d: %v",
+					pn.engine.ID(), round, from, err)
+				continue
 			}
 			updates = append(updates, dec)
 		}

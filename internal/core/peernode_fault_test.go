@@ -1,0 +1,188 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/snapml/snap/internal/graph"
+	"github.com/snapml/snap/internal/model"
+	"github.com/snapml/snap/internal/transport"
+	"github.com/snapml/snap/internal/weights"
+)
+
+// startPeerNodes builds a complete-graph TCP cluster of n PeerNodes with a
+// shared config, leaving per-node tweaks to the mutate callback.
+func startPeerNodes(t *testing.T, n int, roundTimeout time.Duration,
+	mutate func(i int, cfg *PeerNodeConfig)) []*PeerNode {
+	t.Helper()
+	_, parts := smallPartitions(t, n, 60, 21)
+	g := graph.Complete(n)
+	w := weights.Metropolis(g, 0)
+	m := model.NewLinearSVM(8)
+	init := m.InitParams(31)
+
+	nodes := make([]*PeerNode, n)
+	for i := 0; i < n; i++ {
+		cfg := PeerNodeConfig{
+			Engine: EngineConfig{
+				ID: i, Model: m, Data: parts[i], Alpha: 0.1,
+				WRow: w.Row(i), Neighbors: g.Neighbors(i),
+				Policy: SendSelected, Init: init,
+			},
+			ListenAddr:   "127.0.0.1:0",
+			RoundTimeout: roundTimeout,
+			Logf:         t.Logf,
+		}
+		if mutate != nil {
+			mutate(i, &cfg)
+		}
+		pn, err := NewPeerNode(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = pn
+		t.Cleanup(func() { pn.Close() })
+	}
+	addrs := make(map[int]string, n)
+	for i, pn := range nodes {
+		addrs[i] = pn.Addr()
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i, pn := range nodes {
+		wg.Add(1)
+		go func(i int, pn *PeerNode) {
+			defer wg.Done()
+			neighbors := make(map[int]string)
+			for _, j := range g.Neighbors(i) {
+				neighbors[j] = addrs[j]
+			}
+			errs[i] = pn.Connect(neighbors)
+		}(i, pn)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("connect node %d: %v", i, err)
+		}
+	}
+	return nodes
+}
+
+// TestPeerNodeSurvivesKilledNeighbor kills one node a few rounds into
+// training and checks the survivors neither abort nor pay more than
+// bounded straggler timeouts: the dead link is evicted, so the remaining
+// rounds run at live-cluster speed.
+func TestPeerNodeSurvivesKilledNeighbor(t *testing.T) {
+	const (
+		roundTimeout   = 1 * time.Second
+		victimRounds   = 5
+		survivorRounds = 40
+	)
+	nodes := startPeerNodes(t, 3, roundTimeout, nil)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	// The victim trains a few rounds, then dies abruptly.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, errs[2] = nodes[2].Run(victimRounds)
+		nodes[2].Close()
+	}()
+
+	start := time.Now()
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = nodes[i].Run(survivorRounds)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("node %d aborted: %v", i, err)
+		}
+	}
+	// Without eviction every post-kill round would block the full
+	// RoundTimeout: ≥ 35s here. With eviction the kill costs at most a
+	// couple of timeouts (the in-flight round on each survivor).
+	if limit := time.Duration(survivorRounds-victimRounds)*roundTimeout - 5*time.Second; elapsed >= limit {
+		t.Errorf("survivors took %v; dead neighbor should cost at most ~one RoundTimeout, not every round (limit %v)", elapsed, limit)
+	}
+	for i := 0; i < 2; i++ {
+		if nodes[i].Healthy(2) {
+			t.Errorf("node %d still reports dead neighbor 2 as healthy", i)
+		}
+		if st := nodes[i].LinkStats()[2]; st.Disconnects < 1 {
+			t.Errorf("node %d link stats to victim = %+v, want a recorded disconnect", i, st)
+		}
+	}
+}
+
+// TestPeerNodeReconnectTriggersRefreshAndConverges resets one link
+// mid-training via deterministic fault injection and checks the full
+// repair path: the link reconnects with backoff, both ends broadcast a
+// full-parameter refresh (healing the stale views EXTRA's correction
+// history cannot tolerate), and the cluster still reaches consensus.
+func TestPeerNodeReconnectTriggersRefreshAndConverges(t *testing.T) {
+	const rounds = 60
+	faults := transport.NewFaultSet().Add(
+		transport.FaultRule{Peer: 1, Round: 10, Action: transport.FaultReset})
+	nodes := startPeerNodes(t, 3, 2*time.Second, func(i int, cfg *PeerNodeConfig) {
+		if i == 0 {
+			cfg.Faults = faults
+		}
+	})
+
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for i, pn := range nodes {
+		wg.Add(1)
+		go func(i int, pn *PeerNode) {
+			defer wg.Done()
+			_, errs[i] = pn.Run(rounds)
+		}(i, pn)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d aborted: %v", i, err)
+		}
+	}
+
+	if faults.Fired() != 1 {
+		t.Fatalf("fault fired %d times, want 1", faults.Fired())
+	}
+	// The reset must have healed: link up again, reconnect recorded, and
+	// both ends of it performed a reconnect-triggered full refresh.
+	if !nodes[0].Healthy(1) || !nodes[1].Healthy(0) {
+		t.Error("reset link did not reconnect")
+	}
+	if st := nodes[0].LinkStats()[1]; st.Reconnects < 1 {
+		t.Errorf("node 0 link stats to 1 = %+v, want a reconnect", st)
+	}
+	if nodes[0].Refreshes() < 1 {
+		t.Error("node 0 never sent a reconnect-triggered full refresh")
+	}
+	if nodes[1].Refreshes() < 1 {
+		t.Error("node 1 never sent a reconnect-triggered full refresh")
+	}
+	// One broadcast failed (the injected reset) but was tolerated.
+	if nodes[0].SendFailures() < 1 {
+		t.Error("node 0 recorded no tolerated send failure")
+	}
+
+	// Consensus: the refresh heals the stale views, so the cluster
+	// converges essentially as if the reset never happened.
+	ref := nodes[0].Engine().Params()
+	for i := 1; i < 3; i++ {
+		if d := nodes[i].Engine().Params().Sub(ref).NormInf(); d > 1e-2 {
+			t.Errorf("node %d disagrees with node 0 by %v after %d rounds; stale views were not healed", i, d, rounds)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// FaultAction is a deterministic failure injected into a Peer's Send path.
+type FaultAction int
+
+const (
+	// FaultDrop silently discards the frame: the sender observes success
+	// (as with a congested wireless link — it cannot tell), the receiver
+	// treats the sender as a straggler for the round. No bytes are
+	// charged, matching the simulator's link-failure accounting.
+	FaultDrop FaultAction = iota + 1
+	// FaultDelay sleeps for Rule.Delay before writing the frame,
+	// simulating a slow link or a transient stall.
+	FaultDelay
+	// FaultReset closes the underlying TCP connection instead of sending,
+	// simulating a mid-round connection reset: the Send fails, both read
+	// loops exit, and the reconnect machinery takes over.
+	FaultReset
+)
+
+// String implements fmt.Stringer.
+func (a FaultAction) String() string {
+	switch a {
+	case FaultDrop:
+		return "drop"
+	case FaultDelay:
+		return "delay"
+	case FaultReset:
+		return "reset"
+	default:
+		return fmt.Sprintf("FaultAction(%d)", int(a))
+	}
+}
+
+// FaultRule schedules one action on the link to Peer at the given Round.
+// Rules are one-shot: after firing, the link behaves normally again (a
+// reset link reconnects; the rule does not re-fire on the new connection).
+type FaultRule struct {
+	Peer   int
+	Round  int
+	Action FaultAction
+	Delay  time.Duration // used by FaultDelay
+}
+
+type faultKey struct{ peer, round int }
+
+// FaultSet is a deterministic fault-injection plan keyed on (neighbor,
+// round). Install it on a Peer with SetFaults; because faults fire on the
+// sender's own Send calls at exact rounds, tests reproduce network
+// flakiness bit-for-bit without real packet loss. Safe for concurrent use.
+type FaultSet struct {
+	mu    sync.Mutex
+	rules map[faultKey]FaultRule
+	fired int
+}
+
+// NewFaultSet returns an empty plan.
+func NewFaultSet() *FaultSet {
+	return &FaultSet{rules: make(map[faultKey]FaultRule)}
+}
+
+// Add schedules a rule, replacing any existing rule for the same
+// (Peer, Round) pair.
+func (f *FaultSet) Add(r FaultRule) *FaultSet {
+	f.mu.Lock()
+	f.rules[faultKey{peer: r.Peer, round: r.Round}] = r
+	f.mu.Unlock()
+	return f
+}
+
+// Fired returns how many rules have fired so far.
+func (f *FaultSet) Fired() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fired
+}
+
+// Pending returns how many rules have not fired yet.
+func (f *FaultSet) Pending() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.rules)
+}
+
+// take removes and returns the rule for (peer, round), if any.
+func (f *FaultSet) take(peer, round int) (FaultRule, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	k := faultKey{peer: peer, round: round}
+	r, ok := f.rules[k]
+	if ok {
+		delete(f.rules, k)
+		f.fired++
+	}
+	return r, ok
+}
+
+// applyFault executes a fired rule on the link to neighbor `to`. It
+// returns a non-nil error when the send must be reported as failed
+// (reset, or peer closed during a delay); FaultDrop returns nil and the
+// caller skips the write, FaultDelay returns nil and the caller proceeds.
+func (p *Peer) applyFault(to, round int, rule FaultRule) error {
+	switch rule.Action {
+	case FaultDrop:
+		return nil
+	case FaultDelay:
+		t := time.NewTimer(rule.Delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return nil
+		case <-p.closed:
+			return fmt.Errorf("transport: peer %d closed during injected delay to %d", p.id, to)
+		}
+	case FaultReset:
+		p.mu.Lock()
+		pc, ok := p.conns[to]
+		p.mu.Unlock()
+		if ok {
+			pc.conn.Close()
+		}
+		return fmt.Errorf("transport: injected connection reset on link %d→%d at round %d", p.id, to, round)
+	default:
+		return fmt.Errorf("transport: unknown fault action %d on link %d→%d", int(rule.Action), p.id, to)
+	}
+}

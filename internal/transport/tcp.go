@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -15,20 +16,65 @@ import (
 // largest model (a 784-30-10 MLP update is < 300 KB).
 const maxFrameBytes = 64 << 20
 
+const (
+	// dialAttemptTimeout caps a single TCP dial attempt so a hanging SYN
+	// (blackholed route, dropped packets) cannot consume the whole retry
+	// budget — the overall deadline still bounds the retry loop.
+	dialAttemptTimeout = 1 * time.Second
+	// reconnectBaseDelay and reconnectMaxDelay bound the exponential
+	// backoff between re-dial attempts after a connection dies.
+	reconnectBaseDelay = 50 * time.Millisecond
+	reconnectMaxDelay  = 2 * time.Second
+)
+
+// LinkStats counts connection lifecycle events on one neighbor link.
+type LinkStats struct {
+	// Connects is the number of connections ever established (initial
+	// connects, reconnects, and duplicate-resolution replacements).
+	Connects int
+	// Disconnects is the number of times the registered connection died.
+	Disconnects int
+	// Reconnects is the number of down→up transitions: the link had no
+	// connection and a new one was established.
+	Reconnects int
+}
+
 // Peer is one edge server's TCP endpoint. Peers keep one persistent
-// connection per neighbor (the lower-id peer accepts, the higher-id peer
-// dials, so each pair has exactly one connection) and exchange
-// length-prefixed, round-tagged frames. Gather implements the paper's
-// RIP-like synchronization: wait for this round's frame from every
-// neighbor, giving up on stragglers after a timeout.
+// connection per neighbor and exchange length-prefixed, round-tagged
+// frames. Gather implements the paper's RIP-like synchronization: wait for
+// this round's frame from every *currently connected* neighbor, giving up
+// on stragglers after a timeout.
+//
+// The transport is fault tolerant: a dead connection is evicted as soon as
+// its read loop observes the failure (so Gather stops waiting for it), and
+// both sides re-dial with exponential backoff and jitter. For initial
+// connection establishment the lower-id peer accepts and the higher-id
+// peer dials; during reconnection either side may dial, and duplicate
+// connections are resolved deterministically by keeping the one dialed by
+// the higher-id peer.
 type Peer struct {
 	id       int
 	listener net.Listener
 
-	mu    sync.Mutex
-	conns map[int]*peerConn
+	mu        sync.Mutex
+	conns     map[int]*peerConn
+	addrs     map[int]string // known neighbor listen addresses (for re-dial)
+	redialing map[int]bool   // a reconnectLoop is running for this neighbor
+	stats     map[int]*LinkStats
+
+	// onReconnect, when set (before Connect), is invoked once per link
+	// down→up transition with the neighbor id. Called from a transport
+	// goroutine; implementations must be safe for concurrent use.
+	onReconnect func(nid int)
+
+	// faults, when set, injects deterministic failures into Send.
+	faults *FaultSet
 
 	inbox chan inFrame
+
+	// membership is nudged whenever the connection set changes so a
+	// blocked Gather re-evaluates how many frames it should wait for.
+	membership chan struct{}
 
 	// pending buffers frames by round until Gather asks for them.
 	pendingMu sync.Mutex
@@ -43,6 +89,7 @@ type Peer struct {
 type peerConn struct {
 	writeMu sync.Mutex
 	conn    net.Conn
+	dialed  bool // we dialed this connection (vs. accepted it)
 }
 
 type inFrame struct {
@@ -59,12 +106,16 @@ func NewPeer(id int, addr string) (*Peer, error) {
 		return nil, fmt.Errorf("transport: peer %d listen: %w", id, err)
 	}
 	p := &Peer{
-		id:       id,
-		listener: ln,
-		conns:    make(map[int]*peerConn),
-		inbox:    make(chan inFrame, 1024),
-		pending:  make(map[int]map[int][]byte),
-		closed:   make(chan struct{}),
+		id:         id,
+		listener:   ln,
+		conns:      make(map[int]*peerConn),
+		addrs:      make(map[int]string),
+		redialing:  make(map[int]bool),
+		stats:      make(map[int]*LinkStats),
+		inbox:      make(chan inFrame, 1024),
+		membership: make(chan struct{}, 1),
+		pending:    make(map[int]map[int][]byte),
+		closed:     make(chan struct{}),
 	}
 	p.wg.Add(1)
 	go p.acceptLoop()
@@ -81,14 +132,69 @@ func (p *Peer) Addr() string { return p.listener.Addr().String() }
 // quantity the paper's testbed experiment records.
 func (p *Peer) BytesSent() int64 { return p.bytesSent.Load() }
 
+// SetReconnectHandler registers fn to be called whenever a neighbor link
+// transitions from down to up after having been connected before. Set it
+// before Connect; it must be safe to call from transport goroutines.
+func (p *Peer) SetReconnectHandler(fn func(nid int)) {
+	p.mu.Lock()
+	p.onReconnect = fn
+	p.mu.Unlock()
+}
+
+// SetFaults installs a deterministic fault-injection plan consulted by
+// Send. Pass nil to clear.
+func (p *Peer) SetFaults(f *FaultSet) {
+	p.mu.Lock()
+	p.faults = f
+	p.mu.Unlock()
+}
+
+// Healthy reports whether a live connection to neighbor nid is currently
+// registered.
+func (p *Peer) Healthy(nid int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.conns[nid]
+	return ok
+}
+
+// Stats returns a copy of the per-link connection lifecycle counters.
+func (p *Peer) Stats() map[int]LinkStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[int]LinkStats, len(p.stats))
+	for nid, st := range p.stats {
+		out[nid] = *st
+	}
+	return out
+}
+
+// statsFor returns the (mutable) stats entry for nid. Caller holds p.mu.
+func (p *Peer) statsFor(nid int) *LinkStats {
+	st, ok := p.stats[nid]
+	if !ok {
+		st = &LinkStats{}
+		p.stats[nid] = st
+	}
+	return st
+}
+
 // Connect establishes connections to all neighbors: it dials every
 // neighbor with a higher id and waits until connections with all listed
-// neighbors (dialed or accepted) exist, or the timeout expires.
+// neighbors (dialed or accepted) exist, or the timeout expires. The
+// addresses are remembered so that either side can re-dial if a
+// connection later dies.
 func (p *Peer) Connect(neighbors map[int]string, timeout time.Duration) error {
+	p.mu.Lock()
 	for nid, addr := range neighbors {
 		if nid == p.id {
+			p.mu.Unlock()
 			return fmt.Errorf("transport: peer %d listed as its own neighbor", p.id)
 		}
+		p.addrs[nid] = addr
+	}
+	p.mu.Unlock()
+	for nid, addr := range neighbors {
 		if nid > p.id {
 			if err := p.dial(nid, addr, timeout); err != nil {
 				return err
@@ -116,15 +222,19 @@ func (p *Peer) Connect(neighbors map[int]string, timeout time.Duration) error {
 }
 
 // dial connects to a neighbor, retrying until the deadline — peers start
-// in arbitrary order, so the target may not be listening yet.
+// in arbitrary order, so the target may not be listening yet. Each attempt
+// is individually capped so a single hanging SYN cannot consume the whole
+// retry budget.
 func (p *Peer) dial(nid int, addr string, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
-	var conn net.Conn
-	var err error
 	for {
-		conn, err = net.DialTimeout("tcp", addr, timeout)
+		conn, err := p.dialOnce(addr, deadline)
 		if err == nil {
-			break
+			if p.addConn(nid, conn, true) {
+				return nil
+			}
+			// A duplicate connection won; the link is up either way.
+			return nil
 		}
 		if time.Now().After(deadline) {
 			return fmt.Errorf("transport: peer %d dial %d@%s: %w", p.id, nid, addr, err)
@@ -135,15 +245,31 @@ func (p *Peer) dial(nid int, addr string, timeout time.Duration) error {
 		case <-time.After(50 * time.Millisecond):
 		}
 	}
+}
+
+// dialOnce performs one capped dial attempt plus the hello handshake.
+func (p *Peer) dialOnce(addr string, deadline time.Time) (net.Conn, error) {
+	attempt := dialAttemptTimeout
+	if remaining := time.Until(deadline); remaining < attempt {
+		attempt = remaining
+	}
+	if attempt <= 0 {
+		attempt = time.Millisecond
+	}
+	conn, err := net.DialTimeout("tcp", addr, attempt)
+	if err != nil {
+		return nil, err
+	}
 	// Hello: announce our id.
 	var hello [4]byte
 	binary.BigEndian.PutUint32(hello[:], uint32(p.id))
+	conn.SetWriteDeadline(time.Now().Add(dialAttemptTimeout))
 	if _, err := conn.Write(hello[:]); err != nil {
 		conn.Close()
-		return fmt.Errorf("transport: peer %d hello to %d: %w", p.id, nid, err)
+		return nil, fmt.Errorf("hello: %w", err)
 	}
-	p.addConn(nid, conn)
-	return nil
+	conn.SetWriteDeadline(time.Time{})
+	return conn, nil
 }
 
 func (p *Peer) acceptLoop() {
@@ -169,25 +295,154 @@ func (p *Peer) acceptLoop() {
 			continue
 		}
 		conn.SetReadDeadline(time.Time{})
-		p.addConn(int(binary.BigEndian.Uint32(hello[:])), conn)
+		p.addConn(int(binary.BigEndian.Uint32(hello[:])), conn, false)
 	}
 }
 
-func (p *Peer) addConn(nid int, conn net.Conn) {
-	pc := &peerConn{conn: conn}
+// addConn registers a connection for neighbor nid, resolving duplicates
+// deterministically: the canonical connection for a pair is the one dialed
+// by the higher-id peer, so when both sides re-dial concurrently both
+// independently keep the same TCP connection. Returns false if the
+// connection was rejected (peer closed, or a canonical duplicate already
+// exists).
+func (p *Peer) addConn(nid int, conn net.Conn, dialed bool) bool {
+	canonical := dialed == (p.id > nid)
 	p.mu.Lock()
-	if old, ok := p.conns[nid]; ok {
+	select {
+	case <-p.closed:
+		p.mu.Unlock()
+		conn.Close()
+		return false
+	default:
+	}
+	old, existed := p.conns[nid]
+	if existed {
+		oldCanonical := old.dialed == (p.id > nid)
+		if oldCanonical && !canonical {
+			p.mu.Unlock()
+			conn.Close()
+			return false
+		}
+		// Replace: the old conn's readLoop will exit and see it has been
+		// superseded (identity check in removeConn), so no reconnect is
+		// spawned for it.
 		old.conn.Close()
 	}
+	pc := &peerConn{conn: conn, dialed: dialed}
+	st := p.statsFor(nid)
+	reconnected := !existed && st.Connects > 0
+	st.Connects++
+	if reconnected {
+		st.Reconnects++
+	}
 	p.conns[nid] = pc
-	p.mu.Unlock()
+	// wg.Add under p.mu, ordered against Close's close(p.closed) (also
+	// under p.mu): either we observed closed above and bailed, or this Add
+	// happens before Close's wg.Wait can see a zero counter.
 	p.wg.Add(1)
-	go p.readLoop(nid, conn)
+	cb := p.onReconnect
+	p.mu.Unlock()
+	go p.readLoop(nid, pc)
+	p.notifyMembership()
+	if reconnected && cb != nil {
+		cb(nid)
+	}
+	return true
+}
+
+// removeConn evicts pc if it is still the registered connection for nid,
+// and — unless the peer is closing — spawns a reconnect loop so the link
+// heals itself.
+func (p *Peer) removeConn(nid int, pc *peerConn) {
+	p.mu.Lock()
+	cur, ok := p.conns[nid]
+	if !ok || cur != pc {
+		// Superseded by a replacement connection; nothing to evict.
+		p.mu.Unlock()
+		pc.conn.Close()
+		return
+	}
+	delete(p.conns, nid)
+	p.statsFor(nid).Disconnects++
+	addr, haveAddr := p.addrs[nid]
+	spawn := false
+	select {
+	case <-p.closed:
+	default:
+		if haveAddr && !p.redialing[nid] {
+			p.redialing[nid] = true
+			p.wg.Add(1)
+			spawn = true
+		}
+	}
+	p.mu.Unlock()
+	pc.conn.Close()
+	p.notifyMembership()
+	if spawn {
+		go p.reconnectLoop(nid, addr)
+	}
+}
+
+// reconnectLoop re-dials a dead neighbor link with exponential backoff and
+// jitter until the link is up again (dialed by us or re-accepted from the
+// other side) or the peer closes. Either side of a link runs this; the
+// canonical-connection rule in addConn dedups concurrent re-dials.
+func (p *Peer) reconnectLoop(nid int, addr string) {
+	defer p.wg.Done()
+	defer func() {
+		p.mu.Lock()
+		p.redialing[nid] = false
+		p.mu.Unlock()
+	}()
+	backoff := reconnectBaseDelay
+	for {
+		select {
+		case <-p.closed:
+			return
+		default:
+		}
+		p.mu.Lock()
+		_, up := p.conns[nid]
+		p.mu.Unlock()
+		if up {
+			return // the other side reconnected to us
+		}
+		conn, err := p.dialOnce(addr, time.Now().Add(dialAttemptTimeout))
+		if err == nil {
+			p.addConn(nid, conn, true)
+			return
+		}
+		// Full jitter on top of the exponential base keeps a partitioned
+		// clique from re-dialing in lockstep.
+		sleep := backoff + time.Duration(rand.Int63n(int64(backoff)))
+		select {
+		case <-p.closed:
+			return
+		case <-time.After(sleep):
+		}
+		backoff *= 2
+		if backoff > reconnectMaxDelay {
+			backoff = reconnectMaxDelay
+		}
+	}
+}
+
+// notifyMembership nudges a blocked Gather to re-evaluate the connection
+// set. Non-blocking: a single pending nudge is enough.
+func (p *Peer) notifyMembership() {
+	select {
+	case p.membership <- struct{}{}:
+	default:
+	}
 }
 
 // readLoop parses length-prefixed frames: [len u32][round u32][payload].
-func (p *Peer) readLoop(from int, conn net.Conn) {
+// On any read error the connection is evicted from the registry (so Gather
+// stops counting it) and a reconnect loop takes over.
+func (p *Peer) readLoop(from int, pc *peerConn) {
 	defer p.wg.Done()
+	defer p.removeConn(from, pc)
+	conn := pc.conn
 	var header [8]byte
 	for {
 		if _, err := io.ReadFull(conn, header[:]); err != nil {
@@ -196,7 +451,6 @@ func (p *Peer) readLoop(from int, conn net.Conn) {
 		size := binary.BigEndian.Uint32(header[:4])
 		round := int(binary.BigEndian.Uint32(header[4:8]))
 		if size > maxFrameBytes {
-			conn.Close()
 			return
 		}
 		frame := make([]byte, size)
@@ -211,8 +465,20 @@ func (p *Peer) readLoop(from int, conn net.Conn) {
 	}
 }
 
-// Send transmits a round-tagged frame to one neighbor.
+// Send transmits a round-tagged frame to one neighbor. A send to a
+// currently-down link fails fast (the caller should treat the neighbor as
+// a straggler for the round); the background reconnect loop heals the link.
 func (p *Peer) Send(to, round int, frame []byte) error {
+	p.mu.Lock()
+	faults := p.faults
+	p.mu.Unlock()
+	if faults != nil {
+		if rule, ok := faults.take(to, round); ok {
+			if err := p.applyFault(to, round, rule); err != nil || rule.Action != FaultDelay {
+				return err
+			}
+		}
+	}
 	p.mu.Lock()
 	pc, ok := p.conns[to]
 	p.mu.Unlock()
@@ -235,7 +501,9 @@ func (p *Peer) Send(to, round int, frame []byte) error {
 }
 
 // Broadcast sends the frame to every connected neighbor and returns the
-// first error encountered (continuing to the rest regardless).
+// first error encountered (continuing to the rest regardless). Neighbors
+// whose links are down are simply skipped — they are already counted as
+// stragglers by the receiver side.
 func (p *Peer) Broadcast(round int, frame []byte) error {
 	p.mu.Lock()
 	ids := make([]int, 0, len(p.conns))
@@ -255,22 +523,26 @@ func (p *Peer) Broadcast(round int, frame []byte) error {
 // Gather blocks until a frame for the given round has arrived from every
 // currently connected neighbor, or the timeout elapses; it returns
 // whatever arrived (possibly empty). Frames from other rounds are buffered
-// for their own Gather calls.
+// for their own Gather calls. The expected count is re-evaluated whenever
+// the connection set changes, so a neighbor that dies mid-round costs at
+// most this one timeout — subsequent rounds no longer wait for it.
 func (p *Peer) Gather(round int, timeout time.Duration) map[int][]byte {
 	deadline := time.NewTimer(timeout)
 	defer deadline.Stop()
 
-	p.mu.Lock()
-	want := len(p.conns)
-	p.mu.Unlock()
-
 	for {
-		if got := p.takePending(round); len(got) >= want {
+		got := p.takePending(round)
+		p.mu.Lock()
+		want := len(p.conns)
+		p.mu.Unlock()
+		if len(got) >= want {
 			return got
 		}
 		select {
 		case m := <-p.inbox:
 			p.storePending(m)
+		case <-p.membership:
+			// Connection set changed; recompute want.
 		case <-deadline.C:
 			return p.takePending(round)
 		case <-p.closed:
@@ -318,12 +590,12 @@ func (p *Peer) ForgetRound(round int) {
 	}
 }
 
-// Close shuts down the listener and all connections.
+// Close shuts down the listener, all connections, and any reconnect loops.
 func (p *Peer) Close() error {
 	p.closeOnce.Do(func() {
+		p.mu.Lock()
 		close(p.closed)
 		p.listener.Close()
-		p.mu.Lock()
 		for _, pc := range p.conns {
 			pc.conn.Close()
 		}

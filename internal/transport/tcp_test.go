@@ -3,6 +3,7 @@ package transport
 import (
 	"fmt"
 	"math/rand"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -175,6 +176,160 @@ func TestPeerCloseIdempotent(t *testing.T) {
 	}
 	if err := p.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// waitFor polls cond until it returns true or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out after %v waiting for %s", d, what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestPeerEvictsDeadConn kills one peer and checks the survivor evicts the
+// connection: Healthy flips false, Gather no longer counts the dead
+// neighbor (so it returns as soon as live neighbors report), and
+// Broadcast stops erroring.
+func TestPeerEvictsDeadConn(t *testing.T) {
+	peers := startPeers(t, 3)
+	peers[2].Close()
+
+	waitFor(t, 5*time.Second, "eviction of dead conn", func() bool {
+		return !peers[0].Healthy(2) && !peers[1].Healthy(2)
+	})
+
+	// Gather must not wait the full timeout for the evicted neighbor.
+	if err := peers[1].Send(0, 0, []byte("live")); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	got := peers[0].Gather(0, 10*time.Second)
+	elapsed := time.Since(start)
+	if len(got) != 1 || string(got[1]) != "live" {
+		t.Fatalf("gather = %v, want only the live neighbor's frame", got)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("gather took %v with a dead neighbor; eviction should keep it fast", elapsed)
+	}
+
+	// Broadcast skips the dead link rather than erroring forever.
+	if err := peers[0].Broadcast(1, []byte("x")); err != nil {
+		t.Errorf("broadcast after eviction: %v", err)
+	}
+
+	st := peers[0].Stats()[2]
+	if st.Disconnects < 1 {
+		t.Errorf("stats for dead link = %+v, want at least one disconnect", st)
+	}
+}
+
+// TestPeerReconnectAfterReset resets the only connection of a two-peer
+// pair via fault injection and checks that the link heals itself with
+// backoff, fires the reconnect handler on both sides, and carries frames
+// again.
+func TestPeerReconnectAfterReset(t *testing.T) {
+	peers := startPeers(t, 2)
+
+	reconnected := make(chan int, 4)
+	for _, p := range peers {
+		p.SetReconnectHandler(func(nid int) { reconnected <- nid })
+	}
+
+	faults := NewFaultSet().Add(FaultRule{Peer: 1, Round: 0, Action: FaultReset})
+	peers[0].SetFaults(faults)
+
+	if err := peers[0].Send(1, 0, []byte("doomed")); err == nil {
+		t.Fatal("send through injected reset succeeded, want error")
+	}
+	if faults.Fired() != 1 {
+		t.Fatalf("faults fired = %d, want 1", faults.Fired())
+	}
+
+	waitFor(t, 10*time.Second, "link to heal", func() bool {
+		return peers[0].Healthy(1) && peers[1].Healthy(0)
+	})
+
+	select {
+	case <-reconnected:
+	case <-time.After(5 * time.Second):
+		t.Fatal("reconnect handler never fired")
+	}
+
+	// The healed link carries frames again (the reset rule was one-shot).
+	waitFor(t, 5*time.Second, "frame over healed link", func() bool {
+		if err := peers[0].Send(1, 1, []byte("healed")); err != nil {
+			return false
+		}
+		got := peers[1].Gather(1, time.Second)
+		return string(got[0]) == "healed"
+	})
+
+	if st := peers[0].Stats()[1]; st.Reconnects < 1 || st.Disconnects < 1 {
+		t.Errorf("peer 0 link stats = %+v, want at least one disconnect and reconnect", st)
+	}
+}
+
+// TestPeerConnectFailsWithinBudget checks the dial retry loop respects its
+// overall deadline even though each attempt is individually capped.
+func TestPeerConnectFailsWithinBudget(t *testing.T) {
+	p, err := NewPeer(0, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	// Reserve a port with nothing listening on it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	ln.Close()
+
+	start := time.Now()
+	err = p.Connect(map[int]string{1: dead}, 500*time.Millisecond)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("connect to dead address succeeded")
+	}
+	if elapsed > 500*time.Millisecond+2*dialAttemptTimeout {
+		t.Errorf("connect took %v, want bounded by the %v budget plus one capped attempt", elapsed, 500*time.Millisecond)
+	}
+}
+
+// TestPeerCloseDuringConcurrentAccepts hammers a closing peer with new
+// connections; under -race this exercises the addConn/Close WaitGroup
+// ordering.
+func TestPeerCloseDuringConcurrentAccepts(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		p, err := NewPeer(0, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := p.Addr()
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				conn, err := net.Dial("tcp", addr)
+				if err != nil {
+					return
+				}
+				defer conn.Close()
+				var hello [4]byte
+				hello[3] = byte(id + 1)
+				conn.Write(hello[:])
+				time.Sleep(time.Millisecond)
+			}(i)
+		}
+		time.Sleep(time.Duration(trial) * 100 * time.Microsecond)
+		p.Close()
+		wg.Wait()
 	}
 }
 

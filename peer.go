@@ -37,12 +37,29 @@ type PeerConfig struct {
 	// Seed derives the shared initial parameters; it must match across
 	// nodes.
 	Seed int64
+	// RefreshEvery, when positive, broadcasts the complete parameter
+	// vector every RefreshEvery rounds regardless of Policy — the
+	// periodic full advertisement that heals receiver staleness from
+	// dropped frames on lossy links.
+	RefreshEvery int
+	// RestartEvery, when positive, restarts the EXTRA recursion every
+	// that many rounds, bounding the bias that rounds computed on stale
+	// neighbor views bake into EXTRA's correction history.
+	RestartEvery int
+	// FullSendRound0 forces a complete parameter broadcast in round 0
+	// (required when nodes do not share identical initial parameters).
+	FullSendRound0 bool
 	// ListenAddr is this node's TCP listen address ("127.0.0.1:0" for an
 	// ephemeral port; neighbors are given to Connect after every listener
 	// is up).
 	ListenAddr string
 	// RoundTimeout bounds the per-round wait for stragglers (default 5s).
 	RoundTimeout time.Duration
+	// ConnectTimeout bounds cluster formation (default 10s).
+	ConnectTimeout time.Duration
+	// Logf, when set, receives diagnostics about tolerated faults
+	// (failed sends, reconnects, refreshes). Nil discards them.
+	Logf func(format string, args ...any)
 }
 
 // NewPeerNode builds a TCP edge server with the Metropolis weight row for
@@ -62,18 +79,23 @@ func NewPeerNode(cfg PeerConfig) (*PeerNode, error) {
 	w := weights.Metropolis(cfg.Topology, 0)
 	return core.NewPeerNode(core.PeerNodeConfig{
 		Engine: core.EngineConfig{
-			ID:        cfg.ID,
-			Model:     cfg.Model,
-			Data:      cfg.Data,
-			Alpha:     cfg.Alpha,
-			WRow:      w.Row(cfg.ID),
-			Neighbors: cfg.Topology.Neighbors(cfg.ID),
-			BatchSize: cfg.BatchSize,
-			Policy:    cfg.Policy,
-			APE:       cfg.APE,
-			Init:      cfg.Model.InitParams(cfg.Seed),
+			ID:             cfg.ID,
+			Model:          cfg.Model,
+			Data:           cfg.Data,
+			Alpha:          cfg.Alpha,
+			WRow:           w.Row(cfg.ID),
+			Neighbors:      cfg.Topology.Neighbors(cfg.ID),
+			BatchSize:      cfg.BatchSize,
+			Policy:         cfg.Policy,
+			APE:            cfg.APE,
+			RefreshEvery:   cfg.RefreshEvery,
+			RestartEvery:   cfg.RestartEvery,
+			FullSendRound0: cfg.FullSendRound0,
+			Init:           cfg.Model.InitParams(cfg.Seed),
 		},
-		ListenAddr:   cfg.ListenAddr,
-		RoundTimeout: cfg.RoundTimeout,
+		ListenAddr:     cfg.ListenAddr,
+		RoundTimeout:   cfg.RoundTimeout,
+		ConnectTimeout: cfg.ConnectTimeout,
+		Logf:           cfg.Logf,
 	})
 }
