@@ -229,6 +229,7 @@ func BenchmarkExtraRound(b *testing.B) {
 	if res.Iterations != b.N {
 		b.Fatalf("ran %d rounds, want %d", res.Iterations, b.N)
 	}
+	b.ReportMetric(res.TotalCost/float64(res.Iterations), "bytes/round")
 }
 
 // BenchmarkAblationWeightObjective compares the spectral objectives the

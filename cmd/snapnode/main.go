@@ -47,6 +47,9 @@ func main() {
 		restartEvery   = flag.Int("restart-every", 0, "restart the EXTRA recursion every N rounds (0 = never); bounds staleness bias")
 		fullSendRound0 = flag.Bool("full-send-round0", false, "broadcast full parameters in round 0 (required for non-identical inits)")
 		verbose        = flag.Bool("verbose", false, "log tolerated faults (failed sends, reconnects, refreshes)")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus text), /snapshot (JSON) and /debug/pprof on this address while training (e.g. 127.0.0.1:9090; empty = off)")
+		eventsPath  = flag.String("events", "", "append round-lifecycle events as JSON lines to this file (\"-\" = stderr; empty = off)")
 	)
 	flag.Parse()
 
@@ -58,20 +61,24 @@ func main() {
 			RestartEvery:   *restartEvery,
 			FullSendRound0: *fullSendRound0,
 			Verbose:        *verbose,
+			MetricsAddr:    *metricsAddr,
+			EventsPath:     *eventsPath,
 		}); err != nil {
 		fmt.Fprintln(os.Stderr, "snapnode:", err)
 		os.Exit(1)
 	}
 }
 
-// faultOpts bundles the fault-tolerance knobs so run's signature stays
-// manageable.
+// faultOpts bundles the fault-tolerance and observability knobs so run's
+// signature stays manageable.
 type faultOpts struct {
 	ConnectTimeout time.Duration
 	RefreshEvery   int
 	RestartEvery   int
 	FullSendRound0 bool
 	Verbose        bool
+	MetricsAddr    string
+	EventsPath     string
 }
 
 func run(id int, peersArg, topology string, degree float64, rounds int,
@@ -126,6 +133,37 @@ func run(id int, peersArg, topology string, degree float64, rounds int,
 		}
 	}
 
+	// Observability: metrics registry + JSONL event log, served over HTTP.
+	var (
+		reg      *snap.MetricsRegistry
+		eventLog *snap.EventLog
+		observer *snap.Observer
+	)
+	if fo.MetricsAddr != "" || fo.EventsPath != "" {
+		reg = snap.NewMetricsRegistry()
+		if fo.EventsPath != "" {
+			if fo.EventsPath == "-" {
+				eventLog = snap.NewEventLog(os.Stderr)
+			} else {
+				f, err := os.OpenFile(fo.EventsPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+				if err != nil {
+					return fmt.Errorf("open -events file: %w", err)
+				}
+				defer f.Close()
+				eventLog = snap.NewEventLog(f)
+			}
+		}
+		observer = snap.NewObserver(reg, eventLog)
+	}
+	if fo.MetricsAddr != "" {
+		srv, addr, err := snap.ServeObservability(fo.MetricsAddr, id, reg, eventLog)
+		if err != nil {
+			return fmt.Errorf("start metrics server: %w", err)
+		}
+		defer srv.Close()
+		fmt.Printf("node %d metrics on http://%s/metrics\n", id, addr)
+	}
+
 	model := snap.NewLinearSVM(ds.NumFeature)
 	node, err := snap.NewPeerNode(snap.PeerConfig{
 		ID:             id,
@@ -142,6 +180,7 @@ func run(id int, peersArg, topology string, degree float64, rounds int,
 		RoundTimeout:   timeout,
 		ConnectTimeout: fo.ConnectTimeout,
 		Logf:           logf,
+		Obs:            observer,
 	})
 	if err != nil {
 		return err

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"github.com/snapml/snap/internal/codec"
 	"github.com/snapml/snap/internal/dataset"
@@ -12,6 +13,7 @@ import (
 	"github.com/snapml/snap/internal/linalg"
 	"github.com/snapml/snap/internal/metrics"
 	"github.com/snapml/snap/internal/model"
+	"github.com/snapml/snap/internal/obs"
 	"github.com/snapml/snap/internal/transport"
 	"github.com/snapml/snap/internal/weights"
 )
@@ -84,6 +86,11 @@ type ClusterConfig struct {
 	// statistics (paper Fig. 2). It runs on the driver goroutine; engines
 	// may be inspected but not mutated.
 	OnIteration func(round int, c *Cluster)
+	// Obs, when set, is shared by the driver and every engine: engine
+	// series carry a node="<id>" label, while the round/phase histograms
+	// aggregate across nodes (the useful simulator view). Round lifecycle
+	// events are emitted with node -1 (cluster level).
+	Obs *obs.Observer
 }
 
 func (c ClusterConfig) withDefaults() ClusterConfig {
@@ -136,6 +143,7 @@ type Cluster struct {
 	net     *transport.Sim
 	engines []*Engine
 	w       *linalg.Matrix
+	met     roundMetrics
 }
 
 // NewCluster validates the configuration, builds (and optionally
@@ -204,13 +212,14 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			RestartEvery:   cfg.RestartEvery,
 			FullSendRound0: cfg.PerNodeInit,
 			Init:           init,
+			Obs:            cfg.Obs,
 		})
 		if err != nil {
 			return nil, err
 		}
 		engines[i] = eng
 	}
-	return &Cluster{cfg: cfg, net: net, engines: engines, w: w}, nil
+	return &Cluster{cfg: cfg, net: net, engines: engines, w: w, met: newRoundMetrics(cfg.Obs)}, nil
 }
 
 // WeightMatrix returns the weight matrix in use (for inspection/tests).
@@ -229,14 +238,22 @@ func (c *Cluster) Run() (*Result, error) {
 	lastAcc := math.NaN()
 
 	for round := 0; round < cfg.MaxIterations; round++ {
+		roundStart := time.Now()
+		c.met.round.Set(float64(round))
+		cfg.Obs.Emit(-1, obs.EvRoundStart, round, -1, nil)
 		c.net.BeginRound(round)
 
-		// Phase 1: every node builds and broadcasts its update.
+		// Phase 1: every node builds and broadcasts its update. Each
+		// engine goroutine reports its own phase durations; the shared
+		// histograms aggregate them across nodes.
 		if err := c.parallel(func(e *Engine) error {
+			t := time.Now()
 			u, err := e.BuildUpdate(round)
 			if err != nil {
 				return err
 			}
+			c.met.build.Observe(time.Since(t).Seconds())
+			t = time.Now()
 			var frame []byte
 			if c.cfg.Float32Wire {
 				frame, _, err = codec.EncodeLossy(u)
@@ -246,11 +263,14 @@ func (c *Cluster) Run() (*Result, error) {
 			if err != nil {
 				return err
 			}
+			c.met.encode.Observe(time.Since(t).Seconds())
+			t = time.Now()
 			for _, j := range c.net.Neighbors(e.ID()) {
 				if err := c.net.Send(e.ID(), j, frame); err != nil {
 					return err
 				}
 			}
+			c.met.broadcast.Observe(time.Since(t).Seconds())
 			return nil
 		}); err != nil {
 			return nil, err
@@ -258,7 +278,10 @@ func (c *Cluster) Run() (*Result, error) {
 
 		// Phase 2: every node integrates what arrived and steps.
 		if err := c.parallel(func(e *Engine) error {
+			t := time.Now()
 			inbox := c.net.Collect(e.ID())
+			c.met.gather.Observe(time.Since(t).Seconds())
+			t = time.Now()
 			updates := make([]*codec.Update, 0, len(inbox))
 			for _, frame := range inbox {
 				u, err := codec.Decode(frame)
@@ -267,9 +290,12 @@ func (c *Cluster) Run() (*Result, error) {
 				}
 				updates = append(updates, u)
 			}
+			c.met.decode.Observe(time.Since(t).Seconds())
+			t = time.Now()
 			if err := e.Integrate(updates); err != nil {
 				return err
 			}
+			c.met.integrate.Observe(time.Since(t).Seconds())
 			e.Step(round)
 			return nil
 		}); err != nil {
@@ -288,14 +314,23 @@ func (c *Cluster) Run() (*Result, error) {
 			acc = model.Accuracy(cfg.Model, c.AverageParams(), cfg.Test)
 			lastAcc = acc
 		}
+		roundCost := c.net.Ledger().RoundCost(round)
 		res.Trace.Append(metrics.IterationStat{
 			Round:     round,
 			Loss:      loss,
 			Accuracy:  acc,
 			Consensus: consensus,
-			RoundCost: c.net.Ledger().RoundCost(round),
+			RoundCost: roundCost,
 		})
 		res.Iterations = round + 1
+
+		roundSec := time.Since(roundStart).Seconds()
+		c.met.localLoss.Set(loss)
+		c.met.roundBytes.Set(roundCost)
+		c.met.roundSeconds.Observe(roundSec)
+		cfg.Obs.Emit(-1, obs.EvRoundEnd, round, -1, map[string]any{
+			"seconds": roundSec, "loss": loss, "consensus": consensus, "cost": roundCost,
+		})
 
 		if detector.Observe(loss, consensus) {
 			res.Converged = true

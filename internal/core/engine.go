@@ -3,11 +3,14 @@ package core
 import (
 	"fmt"
 	"math"
+	"strconv"
+	"time"
 
 	"github.com/snapml/snap/internal/codec"
 	"github.com/snapml/snap/internal/dataset"
 	"github.com/snapml/snap/internal/linalg"
 	"github.com/snapml/snap/internal/model"
+	"github.com/snapml/snap/internal/obs"
 )
 
 // SendPolicy selects what an engine transmits each round.
@@ -89,6 +92,12 @@ type EngineConfig struct {
 	// Init is the node's initial parameter vector (shared by all nodes in
 	// the paper's setup). It is cloned, not aliased.
 	Init linalg.Vector
+	// Obs, when set, receives engine metrics (compute time, selected
+	// parameter counts, APE stage gauges) and APE/refresh lifecycle
+	// events. Engine series are labeled node="<ID>" so a simulator
+	// sharing one registry across engines keeps them distinct. Nil
+	// disables observation at negligible cost.
+	Obs *obs.Observer
 }
 
 // Engine is one edge server's training state: the EXTRA two-term recursion
@@ -116,6 +125,39 @@ type Engine struct {
 	forceFull bool
 
 	restarts int
+
+	met engineMetrics
+}
+
+// engineMetrics caches this engine's metric handles (detached when
+// unobserved), bound once at construction.
+type engineMetrics struct {
+	compute        *obs.Histogram
+	paramsSent     *obs.Counter
+	paramsWithheld *obs.Counter
+	fullSends      *obs.Counter
+	restarts       *obs.Counter
+	roundSelected  *obs.Gauge
+	modelParams    *obs.Gauge
+	apeStage       *obs.Gauge
+	apeThreshold   *obs.Gauge
+	apeSendThresh  *obs.Gauge
+}
+
+func newEngineMetrics(o *obs.Observer, nodeID int) engineMetrics {
+	node := strconv.Itoa(nodeID)
+	return engineMetrics{
+		compute:        o.Histogram(obs.Label(obs.MComputeSeconds, "node", node), obs.TimeBuckets),
+		paramsSent:     o.Counter(obs.Label(obs.MParamsSent, "node", node)),
+		paramsWithheld: o.Counter(obs.Label(obs.MParamsWithheld, "node", node)),
+		fullSends:      o.Counter(obs.Label(obs.MFullSends, "node", node)),
+		restarts:       o.Counter(obs.Label(obs.MExtraRestarts, "node", node)),
+		roundSelected:  o.Gauge(obs.Label(obs.MRoundSelected, "node", node)),
+		modelParams:    o.Gauge(obs.Label(obs.MModelParams, "node", node)),
+		apeStage:       o.Gauge(obs.Label(obs.MAPEStage, "node", node)),
+		apeThreshold:   o.Gauge(obs.Label(obs.MAPEThreshold, "node", node)),
+		apeSendThresh:  o.Gauge(obs.Label(obs.MAPESendThreshold, "node", node)),
+	}
 }
 
 // NewEngine validates cfg and builds the engine.
@@ -160,7 +202,19 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		}
 		e.ape = ctrl
 	}
+	e.met = newEngineMetrics(cfg.Obs, cfg.ID)
+	e.met.modelParams.Set(float64(p))
+	if e.ape != nil {
+		e.publishAPE()
+	}
 	return e, nil
+}
+
+// publishAPE mirrors the APE controller's state into the gauges.
+func (e *Engine) publishAPE() {
+	e.met.apeStage.Set(float64(e.ape.Stage()))
+	e.met.apeThreshold.Set(e.ape.Threshold())
+	e.met.apeSendThresh.Set(e.ape.SendThreshold())
 }
 
 // ID returns the node id.
@@ -186,19 +240,22 @@ func (e *Engine) LocalLoss() float64 {
 // only those whose accumulated change exceeds the APE threshold.
 func (e *Engine) BuildUpdate(round int) (*codec.Update, error) {
 	policy := e.cfg.Policy
+	fullReason := "" // why the policy was elevated to SendAll, if it was
 	if e.cfg.RefreshEvery > 0 && round > 0 && round%e.cfg.RefreshEvery == 0 {
-		policy = SendAll
+		policy, fullReason = SendAll, "refresh_every"
 	}
 	if e.cfg.FullSendRound0 && round == 0 {
-		policy = SendAll
+		policy, fullReason = SendAll, "round0"
 	}
 	if e.forceFull {
-		policy = SendAll
+		policy, fullReason = SendAll, "reconnect"
 		e.forceFull = false
 	}
+	var u *codec.Update
+	var err error
 	switch policy {
 	case SendAll:
-		u := &codec.Update{Sender: e.cfg.ID, Round: round, NumParams: len(e.x)}
+		u = &codec.Update{Sender: e.cfg.ID, Round: round, NumParams: len(e.x)}
 		u.Indices = make([]int, len(e.x))
 		u.Values = make([]float64, len(e.x))
 		for i, v := range e.x {
@@ -206,24 +263,33 @@ func (e *Engine) BuildUpdate(round int) (*codec.Update, error) {
 			u.Values[i] = v
 		}
 		copy(e.lastSent, e.x)
-		return u, nil
 	case SendChanged:
-		u, err := codec.Diff(e.cfg.ID, round, e.lastSent, e.x, 0)
+		u, err = codec.Diff(e.cfg.ID, round, e.lastSent, e.x, 0)
 		if err != nil {
 			return nil, err
 		}
 		e.markSent(u)
-		return u, nil
 	case SendSelected:
-		u, err := codec.Diff(e.cfg.ID, round, e.lastSent, e.x, e.ape.SendThreshold())
+		u, err = codec.Diff(e.cfg.ID, round, e.lastSent, e.x, e.ape.SendThreshold())
 		if err != nil {
 			return nil, err
 		}
 		e.markSent(u)
-		return u, nil
 	default:
 		return nil, fmt.Errorf("core: node %d has unknown send policy %d", e.cfg.ID, int(e.cfg.Policy))
 	}
+
+	// Selected-vs-withheld accounting: the per-round selection gauge and
+	// cumulative counters are the live form of the paper's Fig. 4b
+	// (bytes-per-iteration savings).
+	e.met.roundSelected.Set(float64(len(u.Indices)))
+	e.met.paramsSent.Add(int64(len(u.Indices)))
+	e.met.paramsWithheld.Add(int64(len(e.x) - len(u.Indices)))
+	if fullReason != "" && e.cfg.Policy != SendAll {
+		e.met.fullSends.Inc()
+		e.cfg.Obs.Emit(e.cfg.ID, obs.EvRefresh, round, -1, map[string]any{"reason": fullReason})
+	}
+	return u, nil
 }
 
 // RequestFullSend forces the next BuildUpdate to transmit the complete
@@ -265,6 +331,7 @@ func (e *Engine) Integrate(updates []*codec.Update) error {
 // neighbor views, returning the new iterate. round selects the gradient
 // mini-batch when BatchSize > 0.
 func (e *Engine) Step(round int) linalg.Vector {
+	start := time.Now()
 	batch := e.cfg.Data.Samples
 	if e.cfg.BatchSize > 0 {
 		batch = e.cfg.Data.Batch(round, e.cfg.BatchSize)
@@ -299,11 +366,21 @@ func (e *Engine) Step(round int) linalg.Vector {
 	e.gPrev = grad
 	e.x = next
 	e.k++
+	e.met.compute.Observe(time.Since(start).Seconds())
 
-	if e.ape != nil && e.ape.AfterIteration() && e.cfg.APE.RestartRecursion {
-		// Stage ended and the literal Algorithm-1 reading is requested:
-		// restart the recursion from the current solution.
-		e.restartRecursion()
+	if e.ape != nil && e.ape.AfterIteration() {
+		// Stage transition: publish the new schedule point and, when the
+		// literal Algorithm-1 reading is requested, restart the recursion
+		// from the current solution.
+		e.publishAPE()
+		e.cfg.Obs.Emit(e.cfg.ID, obs.EvAPEStage, round, -1, map[string]any{
+			"stage":          e.ape.Stage(),
+			"threshold":      e.ape.Threshold(),
+			"send_threshold": e.ape.SendThreshold(),
+		})
+		if e.cfg.APE.RestartRecursion {
+			e.restartRecursion()
+		}
 	}
 	if e.cfg.RestartEvery > 0 && round > 0 && round%e.cfg.RestartEvery == 0 {
 		e.restartRecursion()
@@ -318,6 +395,7 @@ func (e *Engine) restartRecursion() {
 	e.xPrev = nil
 	e.gPrev = nil
 	e.restarts++
+	e.met.restarts.Inc()
 }
 
 // APEStage returns the APE controller's stage, threshold and send

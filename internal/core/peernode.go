@@ -1,11 +1,13 @@
 package core
 
 import (
+	"math"
 	"sync/atomic"
 	"time"
 
 	"github.com/snapml/snap/internal/codec"
 	"github.com/snapml/snap/internal/metrics"
+	"github.com/snapml/snap/internal/obs"
 	"github.com/snapml/snap/internal/transport"
 )
 
@@ -32,6 +34,11 @@ type PeerNodeConfig struct {
 	// delay, reset at a given round) — for testing fault tolerance
 	// without real network flakiness.
 	Faults *transport.FaultSet
+	// Obs, when set, receives the node's metrics (per-link byte/frame
+	// counters, gather-wait and round-phase histograms, APE gauges) and
+	// its JSONL round-lifecycle event stream. Serve it with obs.Handler
+	// to scrape the node mid-training. Nil disables observation.
+	Obs *obs.Observer
 }
 
 // PeerNode runs a SNAP engine over a real TCP transport. Synchronization
@@ -59,6 +66,40 @@ type PeerNode struct {
 	needRefresh  atomic.Bool
 	sendFailures atomic.Int64
 	refreshes    atomic.Int64
+
+	met roundMetrics
+}
+
+// roundMetrics caches the round-driver metric handles: one histogram per
+// pipeline phase (the round latency breakdown), whole-round latency, and
+// the fault/refresh counters mirrored into the registry.
+type roundMetrics struct {
+	build, encode, broadcast         *obs.Histogram
+	gather, decode, integrate        *obs.Histogram
+	roundSeconds                     *obs.Histogram
+	round, roundBytes, localLoss     *obs.Gauge
+	sendFailures, corrupt, refreshes *obs.Counter
+}
+
+func newRoundMetrics(o *obs.Observer) roundMetrics {
+	phase := func(name string) *obs.Histogram {
+		return o.Histogram(obs.Label(obs.MPhaseSeconds, "phase", name), obs.TimeBuckets)
+	}
+	return roundMetrics{
+		build:        phase("build"),
+		encode:       phase("encode"),
+		broadcast:    phase("broadcast"),
+		gather:       phase("gather"),
+		decode:       phase("decode"),
+		integrate:    phase("integrate"),
+		roundSeconds: o.Histogram(obs.MRoundSeconds, obs.TimeBuckets),
+		round:        o.Gauge(obs.MRound),
+		roundBytes:   o.Gauge(obs.MRoundBytes),
+		localLoss:    o.Gauge(obs.MLocalLoss),
+		sendFailures: o.Counter(obs.MSendFailures),
+		corrupt:      o.Counter(obs.MCorruptFrames),
+		refreshes:    o.Counter(obs.MRefreshes),
+	}
 }
 
 // NewPeerNode builds the engine and starts listening. Call Connect before
@@ -70,6 +111,7 @@ func NewPeerNode(cfg PeerNodeConfig) (*PeerNode, error) {
 	if cfg.ConnectTimeout <= 0 {
 		cfg.ConnectTimeout = 10 * time.Second
 	}
+	cfg.Engine.Obs = cfg.Obs
 	eng, err := NewEngine(cfg.Engine)
 	if err != nil {
 		return nil, err
@@ -78,7 +120,10 @@ func NewPeerNode(cfg PeerNodeConfig) (*PeerNode, error) {
 	if err != nil {
 		return nil, err
 	}
-	pn := &PeerNode{cfg: cfg, engine: eng, peer: peer}
+	if cfg.Obs != nil {
+		peer.SetObserver(cfg.Obs)
+	}
+	pn := &PeerNode{cfg: cfg, engine: eng, peer: peer, met: newRoundMetrics(cfg.Obs)}
 	peer.SetReconnectHandler(func(nid int) {
 		pn.needRefresh.Store(true)
 		pn.logf("node %d: link to %d reconnected; scheduling full-parameter refresh", cfg.Engine.ID, nid)
@@ -137,51 +182,102 @@ func (pn *PeerNode) Connect(neighborAddrs map[int]string) error {
 // receiver reuses the neighbor's last-known parameters. Only local errors
 // (engine, codec) are fatal.
 func (pn *PeerNode) Run(rounds int) (*metrics.Trace, error) {
+	id := pn.engine.ID()
 	trace := &metrics.Trace{}
 	for round := 0; round < rounds; round++ {
+		roundStart := time.Now()
+		bytesBefore := pn.peer.BytesSent()
+		pn.met.round.Set(float64(round))
+		pn.cfg.Obs.Emit(id, obs.EvRoundStart, round, -1, nil)
+
 		if pn.needRefresh.Swap(false) {
 			pn.engine.RequestFullSend()
 			pn.refreshes.Add(1)
+			pn.met.refreshes.Inc()
 		}
+		t := time.Now()
 		u, err := pn.engine.BuildUpdate(round)
 		if err != nil {
 			return trace, err
 		}
+		pn.met.build.Observe(time.Since(t).Seconds())
+
+		t = time.Now()
 		frame, _, err := codec.Encode(u)
 		if err != nil {
 			return trace, err
 		}
+		pn.met.encode.Observe(time.Since(t).Seconds())
+
+		t = time.Now()
 		if err := pn.peer.Broadcast(round, frame); err != nil {
 			// A dead link mid-broadcast is a straggler, not a node
 			// failure: the receiver reuses our last parameters and the
 			// transport reconnects in the background.
 			pn.sendFailures.Add(1)
+			pn.met.sendFailures.Inc()
+			pn.cfg.Obs.Emit(id, obs.EvFault, round, -1,
+				map[string]any{"kind": "send_failure", "error": err.Error()})
 			pn.logf("node %d: broadcast round %d: %v (continuing; link treated as straggler)",
-				pn.engine.ID(), round, err)
+				id, round, err)
 		}
+		pn.met.broadcast.Observe(time.Since(t).Seconds())
+		pn.cfg.Obs.Emit(id, obs.EvBroadcast, round, -1,
+			map[string]any{"bytes": len(frame), "selected": len(u.Indices)})
 
+		t = time.Now()
 		inbox := pn.peer.Gather(round, pn.cfg.RoundTimeout)
+		pn.met.gather.Observe(time.Since(t).Seconds())
+
+		t = time.Now()
 		updates := make([]*codec.Update, 0, len(inbox))
 		for from, f := range inbox {
 			dec, err := codec.Decode(f)
 			if err != nil {
 				// A corrupt frame from one neighbor is that neighbor's
 				// problem, not ours: drop it and reuse their last view.
+				pn.met.corrupt.Inc()
+				pn.cfg.Obs.Emit(id, obs.EvFault, round, from,
+					map[string]any{"kind": "corrupt_frame", "error": err.Error()})
 				pn.logf("node %d: dropping corrupt round-%d frame from %d: %v",
-					pn.engine.ID(), round, from, err)
+					id, round, from, err)
 				continue
 			}
 			updates = append(updates, dec)
 		}
+		pn.met.decode.Observe(time.Since(t).Seconds())
+
+		t = time.Now()
 		if err := pn.engine.Integrate(updates); err != nil {
 			return trace, err
 		}
+		pn.met.integrate.Observe(time.Since(t).Seconds())
+		pn.cfg.Obs.Emit(id, obs.EvIntegrate, round, -1,
+			map[string]any{"updates": len(updates)})
+
 		pn.engine.Step(round)
 		pn.peer.ForgetRound(round)
 
+		loss := pn.engine.LocalLoss()
+		roundBytes := pn.peer.BytesSent() - bytesBefore
+		roundSec := time.Since(roundStart).Seconds()
+		pn.met.localLoss.Set(loss)
+		pn.met.roundBytes.Set(float64(roundBytes))
+		pn.met.roundSeconds.Observe(roundSec)
+		pn.cfg.Obs.Emit(id, obs.EvRoundEnd, round, -1,
+			map[string]any{"seconds": roundSec, "loss": loss, "bytes": roundBytes})
+
 		trace.Append(metrics.IterationStat{
 			Round: round,
-			Loss:  pn.engine.LocalLoss(),
+			Loss:  loss,
+			// No test set is evaluated on the testbed path; NaN is the
+			// documented "not evaluated" marker, keeping these rounds out
+			// of IterationsToAccuracy / CostToAccuracy.
+			Accuracy: math.NaN(),
+			// The socket-byte delta of this round, so testbed traces
+			// support the simulator's cost-to-accuracy analysis. (Raw
+			// bytes: a real deployment does not know physical hop counts.)
+			RoundCost: float64(roundBytes),
 		})
 	}
 	return trace, nil

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event types emitted by the instrumented training path. The set mirrors
+// the round lifecycle of the paper's RIP-like synchronization model plus
+// the fault-tolerance machinery from the transport.
+const (
+	EvRoundStart = "round_start" // a node begins a training round
+	EvRoundEnd   = "round_end"   // a node finished a round (f: seconds, loss)
+	EvBroadcast  = "broadcast"   // update broadcast (f: bytes, selected)
+	EvGatherWait = "gather_wait" // gather finished (f: seconds, got, want)
+	EvIntegrate  = "integrate"   // neighbor updates applied (f: updates)
+	EvAPEStage   = "ape_stage"   // APE stage transition (f: stage, threshold, send_threshold)
+	EvLinkUp     = "link_up"     // connection to peer established
+	EvLinkDown   = "link_down"   // connection to peer died
+	EvReconnect  = "reconnect"   // link healed after a failure (f: down_seconds)
+	EvRefresh    = "refresh"     // full-parameter broadcast (f: reason)
+	EvFault      = "fault"       // tolerated fault (f: kind, error)
+)
+
+// Event is one JSONL record. Round and Peer are -1 when not applicable
+// (e.g. link events carry no round; round events carry no peer).
+type Event struct {
+	Time  string         `json:"t"`
+	Node  int            `json:"node"`
+	Type  string         `json:"type"`
+	Round int            `json:"round"`
+	Peer  int            `json:"peer"`
+	F     map[string]any `json:"f,omitempty"`
+}
+
+// EventLog writes structured round-lifecycle events as JSON lines to an
+// io.Writer. It is safe for concurrent use; write errors are counted, not
+// propagated (observability must never fail training). A nil *EventLog
+// discards everything.
+type EventLog struct {
+	mu      sync.Mutex
+	w       io.Writer
+	emitted int64
+	errs    int64
+
+	// now is stubbed in tests for deterministic timestamps.
+	now func() time.Time
+}
+
+// NewEventLog wraps w (e.g. a file or os.Stderr) in an event log.
+func NewEventLog(w io.Writer) *EventLog {
+	return &EventLog{w: w, now: time.Now}
+}
+
+// Emit writes one event. Use round/peer = -1 for "not applicable"; fields
+// may be nil. Safe on a nil receiver.
+func (l *EventLog) Emit(node int, typ string, round, peer int, fields map[string]any) {
+	if l == nil {
+		return
+	}
+	ev := Event{
+		Node:  node,
+		Type:  typ,
+		Round: round,
+		Peer:  peer,
+		F:     fields,
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ev.Time = l.now().UTC().Format(time.RFC3339Nano)
+	b, err := json.Marshal(ev)
+	if err != nil {
+		l.errs++
+		return
+	}
+	b = append(b, '\n')
+	if _, err := l.w.Write(b); err != nil {
+		l.errs++
+		return
+	}
+	l.emitted++
+}
+
+// Emitted returns the number of successfully written events.
+func (l *EventLog) Emitted() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.emitted
+}
+
+// Errors returns the number of events dropped due to write/marshal
+// failures.
+func (l *EventLog) Errors() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.errs
+}

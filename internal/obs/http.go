@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the observability surface for one node:
+//
+//	/metrics        Prometheus text exposition of the registry
+//	/snapshot       JSON snapshot of every metric (expvar-style)
+//	/debug/pprof/*  the standard pprof handlers (CPU, heap, goroutine, …)
+//
+// so a running edge cluster can be scraped and profiled mid-training.
+// node is echoed into the snapshot for multi-node scrape aggregation.
+func Handler(node int, reg *Registry, log *EventLog) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, reg.Text())
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		snap := map[string]any{
+			"node":    node,
+			"metrics": reg.Snapshot(),
+		}
+		if log != nil {
+			snap["events_emitted"] = log.Emitted()
+			snap["events_dropped"] = log.Errors()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snap)
+	})
+	// Explicit pprof wiring: importing net/http/pprof only registers on
+	// http.DefaultServeMux, which we deliberately do not serve.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts an HTTP server for Handler on addr in a background
+// goroutine and returns the server (for Close/Shutdown) and the bound
+// address (useful with ":0"). The server's lifetime is the caller's
+// responsibility; serve errors after Close are discarded.
+func Serve(addr string, node int, reg *Registry, log *EventLog) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(node, reg, log)}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}

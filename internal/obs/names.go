@@ -1,0 +1,49 @@
+package obs
+
+// Metric families exported by the instrumented SNAP components. Each maps
+// to a quantity the paper measures (see DESIGN.md §Observability):
+// per-link bytes are the raw material of the hop-weighted cost (§II-B),
+// selected-vs-withheld parameter counts are the APE savings (Fig. 4b),
+// the APE stage/threshold gauges expose Algorithm 1's schedule, and the
+// gather-wait histogram is the straggler behavior of Fig. 9.
+const (
+	// Transport (per neighbor link, labeled peer="<id>").
+	MLinkFramesSent   = "snap_link_frames_sent_total"
+	MLinkBytesSent    = "snap_link_bytes_sent_total"
+	MLinkFramesRecv   = "snap_link_frames_recv_total"
+	MLinkBytesRecv    = "snap_link_bytes_recv_total"
+	MLinkConnects     = "snap_link_connects_total"
+	MLinkDisconnects  = "snap_link_disconnects_total"
+	MLinkReconnects   = "snap_link_reconnects_total"
+	MReconnectSeconds = "snap_link_reconnect_seconds" // down -> up latency
+	MGatherWait       = "snap_gather_wait_seconds"
+	MGatherIncomplete = "snap_gather_incomplete_total" // rounds short of frames
+
+	// Engine (labeled node="<id>"; the simulator shares one registry
+	// across engines, so the label keeps per-node series distinct).
+	MComputeSeconds   = "snap_compute_seconds" // one EXTRA step (gradient + mix)
+	MParamsSent       = "snap_params_sent_total"
+	MParamsWithheld   = "snap_params_withheld_total"
+	MModelParams      = "snap_model_params"
+	MRoundSelected    = "snap_round_params_selected"
+	MFullSends        = "snap_full_sends_total"
+	MAPEStage         = "snap_ape_stage"
+	MAPEThreshold     = "snap_ape_threshold"
+	MAPESendThreshold = "snap_ape_send_threshold"
+	MExtraRestarts    = "snap_extra_restarts_total"
+
+	// Round driver (PeerNode / Cluster). Phase histograms are labeled
+	// phase="build|encode|broadcast|gather|decode|integrate" and
+	// deliberately unlabeled by node: a testbed process is one node, and
+	// the simulator's useful view is the cross-node aggregate.
+	MRound        = "snap_round"
+	MRoundSeconds = "snap_round_seconds"
+	MPhaseSeconds = "snap_round_phase_seconds"
+	// MRoundBytes is the communication of the last finished round: raw
+	// socket bytes on the testbed, hop-weighted cost in the simulator.
+	MRoundBytes    = "snap_round_bytes_sent"
+	MSendFailures  = "snap_send_failures_total"
+	MCorruptFrames = "snap_corrupt_frames_total"
+	MRefreshes     = "snap_reconnect_refreshes_total"
+	MLocalLoss     = "snap_local_loss"
+)

@@ -1,0 +1,36 @@
+package obs
+
+// Observer bundles a metrics registry and an event log so instrumented
+// code threads a single handle. Either field (or the whole Observer) may
+// be nil: metrics come back detached and events are discarded, so hot
+// paths are instrumented unconditionally.
+type Observer struct {
+	Reg *Registry
+	Log *EventLog
+}
+
+func (o *Observer) registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Reg
+}
+
+// Counter returns the named counter (detached when unobserved).
+func (o *Observer) Counter(name string) *Counter { return o.registry().Counter(name) }
+
+// Gauge returns the named gauge (detached when unobserved).
+func (o *Observer) Gauge(name string) *Gauge { return o.registry().Gauge(name) }
+
+// Histogram returns the named histogram (detached when unobserved).
+func (o *Observer) Histogram(name string, bounds []float64) *Histogram {
+	return o.registry().Histogram(name, bounds)
+}
+
+// Emit forwards to the event log; a nil observer or log discards.
+func (o *Observer) Emit(node int, typ string, round, peer int, fields map[string]any) {
+	if o == nil {
+		return
+	}
+	o.Log.Emit(node, typ, round, peer, fields)
+}

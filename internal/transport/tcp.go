@@ -7,9 +7,12 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/snapml/snap/internal/obs"
 )
 
 // maxFrameBytes bounds a single wire frame; generous for the paper's
@@ -34,8 +37,11 @@ type LinkStats struct {
 	Connects int
 	// Disconnects is the number of times the registered connection died.
 	Disconnects int
-	// Reconnects is the number of down→up transitions: the link had no
-	// connection and a new one was established.
+	// Reconnects is the number of link healings: either a new connection
+	// filled a slot the link had before (the dead conn was already
+	// evicted), or a canonical duplicate replaced a registered connection
+	// — which only happens in reconnection races, when the remote's
+	// re-dial outran our read loop's error.
 	Reconnects int
 }
 
@@ -61,6 +67,8 @@ type Peer struct {
 	addrs     map[int]string // known neighbor listen addresses (for re-dial)
 	redialing map[int]bool   // a reconnectLoop is running for this neighbor
 	stats     map[int]*LinkStats
+	linkM     map[int]*linkMetrics // per-link metric handles (lazy)
+	downSince map[int]time.Time    // link-down timestamp, for reconnect latency
 
 	// onReconnect, when set (before Connect), is invoked once per link
 	// down→up transition with the neighbor id. Called from a transport
@@ -84,6 +92,22 @@ type Peer struct {
 	closed    chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
+
+	// Observability. The handles are always valid: with no observer they
+	// are detached metrics, so hot paths record unconditionally.
+	obs         *obs.Observer
+	gatherWaitH *obs.Histogram
+	reconnLatH  *obs.Histogram
+	gatherShort *obs.Counter
+}
+
+// linkMetrics caches one neighbor link's counter handles so the per-frame
+// path does one map lookup, not seven registry lookups.
+type linkMetrics struct {
+	framesOut, bytesOut   *obs.Counter
+	framesIn, bytesIn     *obs.Counter
+	connects, disconnects *obs.Counter
+	reconnects            *obs.Counter
 }
 
 type peerConn struct {
@@ -112,14 +136,55 @@ func NewPeer(id int, addr string) (*Peer, error) {
 		addrs:      make(map[int]string),
 		redialing:  make(map[int]bool),
 		stats:      make(map[int]*LinkStats),
+		linkM:      make(map[int]*linkMetrics),
+		downSince:  make(map[int]time.Time),
 		inbox:      make(chan inFrame, 1024),
 		membership: make(chan struct{}, 1),
 		pending:    make(map[int]map[int][]byte),
 		closed:     make(chan struct{}),
 	}
+	p.initObsHandles()
 	p.wg.Add(1)
 	go p.acceptLoop()
 	return p, nil
+}
+
+// initObsHandles (re)binds the link-independent metric handles against the
+// current observer (detached metrics when there is none).
+func (p *Peer) initObsHandles() {
+	p.gatherWaitH = p.obs.Histogram(obs.MGatherWait, obs.TimeBuckets)
+	p.reconnLatH = p.obs.Histogram(obs.MReconnectSeconds, obs.TimeBuckets)
+	p.gatherShort = p.obs.Counter(obs.MGatherIncomplete)
+}
+
+// SetObserver attaches a metrics registry and event log. Call before
+// Connect; per-link series are labeled peer="<neighbor id>".
+func (p *Peer) SetObserver(o *obs.Observer) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.obs = o
+	p.initObsHandles()
+	p.linkM = make(map[int]*linkMetrics) // rebind any pre-existing links
+}
+
+// linkMetricsFor returns (creating if needed) the metric handles for the
+// link to nid. Caller holds p.mu.
+func (p *Peer) linkMetricsFor(nid int) *linkMetrics {
+	lm, ok := p.linkM[nid]
+	if !ok {
+		peer := strconv.Itoa(nid)
+		lm = &linkMetrics{
+			framesOut:   p.obs.Counter(obs.Label(obs.MLinkFramesSent, "peer", peer)),
+			bytesOut:    p.obs.Counter(obs.Label(obs.MLinkBytesSent, "peer", peer)),
+			framesIn:    p.obs.Counter(obs.Label(obs.MLinkFramesRecv, "peer", peer)),
+			bytesIn:     p.obs.Counter(obs.Label(obs.MLinkBytesRecv, "peer", peer)),
+			connects:    p.obs.Counter(obs.Label(obs.MLinkConnects, "peer", peer)),
+			disconnects: p.obs.Counter(obs.Label(obs.MLinkDisconnects, "peer", peer)),
+			reconnects:  p.obs.Counter(obs.Label(obs.MLinkReconnects, "peer", peer)),
+		}
+		p.linkM[nid] = lm
+	}
+	return lm
 }
 
 // ID returns this peer's node id.
@@ -330,10 +395,27 @@ func (p *Peer) addConn(nid int, conn net.Conn, dialed bool) bool {
 	}
 	pc := &peerConn{conn: conn, dialed: dialed}
 	st := p.statsFor(nid)
-	reconnected := !existed && st.Connects > 0
+	lm := p.linkMetricsFor(nid)
+	// A link heals in one of two ways: a new connection fills an empty
+	// slot the link had before (the read loop already evicted the dead
+	// conn), or — when the remote's re-dial outraces our read loop's
+	// error — a canonical duplicate replaces a connection that is still
+	// registered. Initial connection establishment never produces
+	// replacements (only the higher-id peer dials), so a replacement is
+	// always a reconnection race and must fire the same down→up handling:
+	// frames may have died with the old connection, and the neighbor
+	// needs the full-parameter refresh.
+	reconnected := existed || st.Connects > 0
 	st.Connects++
+	lm.connects.Inc()
+	var downFor time.Duration
 	if reconnected {
 		st.Reconnects++
+		lm.reconnects.Inc()
+		if since, ok := p.downSince[nid]; ok {
+			downFor = time.Since(since)
+			delete(p.downSince, nid)
+		}
 	}
 	p.conns[nid] = pc
 	// wg.Add under p.mu, ordered against Close's close(p.closed) (also
@@ -341,9 +423,22 @@ func (p *Peer) addConn(nid int, conn net.Conn, dialed bool) bool {
 	// happens before Close's wg.Wait can see a zero counter.
 	p.wg.Add(1)
 	cb := p.onReconnect
+	o, reconnH := p.obs, p.reconnLatH
 	p.mu.Unlock()
 	go p.readLoop(nid, pc)
 	p.notifyMembership()
+	if reconnected {
+		// downFor is zero when the remote re-dialed before our read loop
+		// evicted the dead conn (replacement path): no downtime was
+		// observable, so none is recorded in the latency histogram.
+		if downFor > 0 {
+			reconnH.Observe(downFor.Seconds())
+		}
+		o.Emit(p.id, obs.EvReconnect, -1, nid,
+			map[string]any{"down_seconds": downFor.Seconds()})
+	} else {
+		o.Emit(p.id, obs.EvLinkUp, -1, nid, nil)
+	}
 	if reconnected && cb != nil {
 		cb(nid)
 	}
@@ -364,6 +459,9 @@ func (p *Peer) removeConn(nid int, pc *peerConn) {
 	}
 	delete(p.conns, nid)
 	p.statsFor(nid).Disconnects++
+	p.linkMetricsFor(nid).disconnects.Inc()
+	p.downSince[nid] = time.Now()
+	o := p.obs
 	addr, haveAddr := p.addrs[nid]
 	spawn := false
 	select {
@@ -377,6 +475,7 @@ func (p *Peer) removeConn(nid int, pc *peerConn) {
 	}
 	p.mu.Unlock()
 	pc.conn.Close()
+	o.Emit(p.id, obs.EvLinkDown, -1, nid, nil)
 	p.notifyMembership()
 	if spawn {
 		go p.reconnectLoop(nid, addr)
@@ -442,6 +541,9 @@ func (p *Peer) notifyMembership() {
 func (p *Peer) readLoop(from int, pc *peerConn) {
 	defer p.wg.Done()
 	defer p.removeConn(from, pc)
+	p.mu.Lock()
+	lm := p.linkMetricsFor(from)
+	p.mu.Unlock()
 	conn := pc.conn
 	var header [8]byte
 	for {
@@ -457,6 +559,8 @@ func (p *Peer) readLoop(from int, pc *peerConn) {
 		if _, err := io.ReadFull(conn, frame); err != nil {
 			return
 		}
+		lm.framesIn.Inc()
+		lm.bytesIn.Add(int64(size))
 		select {
 		case p.inbox <- inFrame{from: from, round: round, frame: frame}:
 		case <-p.closed:
@@ -481,6 +585,7 @@ func (p *Peer) Send(to, round int, frame []byte) error {
 	}
 	p.mu.Lock()
 	pc, ok := p.conns[to]
+	lm := p.linkMetricsFor(to)
 	p.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("transport: peer %d has no connection to %d", p.id, to)
@@ -497,6 +602,8 @@ func (p *Peer) Send(to, round int, frame []byte) error {
 		return fmt.Errorf("transport: peer %d send frame to %d: %w", p.id, to, err)
 	}
 	p.bytesSent.Add(int64(len(frame)))
+	lm.framesOut.Inc()
+	lm.bytesOut.Add(int64(len(frame)))
 	return nil
 }
 
@@ -527,6 +634,24 @@ func (p *Peer) Broadcast(round int, frame []byte) error {
 // the connection set changes, so a neighbor that dies mid-round costs at
 // most this one timeout — subsequent rounds no longer wait for it.
 func (p *Peer) Gather(round int, timeout time.Duration) map[int][]byte {
+	start := time.Now()
+	got, want := p.gather(round, timeout)
+	wait := time.Since(start).Seconds()
+	p.mu.Lock()
+	waitH, short, o := p.gatherWaitH, p.gatherShort, p.obs
+	p.mu.Unlock()
+	waitH.Observe(wait)
+	if len(got) < want {
+		short.Inc()
+	}
+	o.Emit(p.id, obs.EvGatherWait, round, -1,
+		map[string]any{"seconds": wait, "got": len(got), "want": want})
+	return got
+}
+
+// gather implements Gather, additionally returning the number of frames
+// it was waiting for when it returned (for straggler accounting).
+func (p *Peer) gather(round int, timeout time.Duration) (map[int][]byte, int) {
 	deadline := time.NewTimer(timeout)
 	defer deadline.Stop()
 
@@ -536,7 +661,7 @@ func (p *Peer) Gather(round int, timeout time.Duration) map[int][]byte {
 		want := len(p.conns)
 		p.mu.Unlock()
 		if len(got) >= want {
-			return got
+			return got, want
 		}
 		select {
 		case m := <-p.inbox:
@@ -544,9 +669,9 @@ func (p *Peer) Gather(round int, timeout time.Duration) map[int][]byte {
 		case <-p.membership:
 			// Connection set changed; recompute want.
 		case <-deadline.C:
-			return p.takePending(round)
+			return p.takePending(round), want
 		case <-p.closed:
-			return p.takePending(round)
+			return p.takePending(round), want
 		}
 	}
 }

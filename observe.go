@@ -1,0 +1,61 @@
+package snap
+
+import (
+	"io"
+	"net/http"
+
+	"github.com/snapml/snap/internal/obs"
+)
+
+// Observability: every training path (simulated Cluster and TCP PeerNode)
+// can stream metrics into a MetricsRegistry and round-lifecycle events
+// into a JSONL EventLog, and a node can serve both live over HTTP — the
+// measurement substrate for the paper's quantitative claims
+// (communication cost, APE schedule, straggler waits).
+//
+// Typical testbed wiring:
+//
+//	reg := snap.NewMetricsRegistry()
+//	log := snap.NewEventLog(eventsFile)
+//	node, _ := snap.NewPeerNode(snap.PeerConfig{ ..., Obs: snap.NewObserver(reg, log)})
+//	srv, addr, _ := snap.ServeObservability(":9090", id, reg, log)
+//	defer srv.Close()
+//
+// then scrape http://addr/metrics (Prometheus text), GET /snapshot
+// (JSON), or profile via /debug/pprof while training runs.
+type (
+	// MetricsRegistry holds named counters, gauges and histograms; all
+	// operations are safe for concurrent use.
+	MetricsRegistry = obs.Registry
+	// EventLog writes structured JSONL round-lifecycle events (round
+	// start/end, broadcast, gather waits, APE stage changes, link
+	// up/down/reconnect, refreshes, tolerated faults).
+	EventLog = obs.EventLog
+	// Observer bundles a registry and event log for config structs.
+	Observer = obs.Observer
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewEventLog returns an event log writing JSON lines to w (a file,
+// os.Stderr, …). Writes are serialized; errors are counted, not fatal.
+func NewEventLog(w io.Writer) *EventLog { return obs.NewEventLog(w) }
+
+// NewObserver bundles a registry and event log; either may be nil.
+func NewObserver(reg *MetricsRegistry, log *EventLog) *Observer {
+	return &Observer{Reg: reg, Log: log}
+}
+
+// ObservabilityHandler serves /metrics (Prometheus text exposition),
+// /snapshot (JSON), and /debug/pprof/* for one node.
+func ObservabilityHandler(node int, reg *MetricsRegistry, log *EventLog) http.Handler {
+	return obs.Handler(node, reg, log)
+}
+
+// ServeObservability starts ObservabilityHandler on addr (":0" for an
+// ephemeral port) in the background, returning the server and the bound
+// address. Close the server when done.
+func ServeObservability(addr string, node int, reg *MetricsRegistry, log *EventLog) (*http.Server, string, error) {
+	return obs.Serve(addr, node, reg, log)
+}

@@ -60,6 +60,11 @@ type PeerConfig struct {
 	// Logf, when set, receives diagnostics about tolerated faults
 	// (failed sends, reconnects, refreshes). Nil discards them.
 	Logf func(format string, args ...any)
+	// Obs, when set, receives the node's live metrics (per-link bytes,
+	// gather waits, APE stage, round phase latencies) and JSONL
+	// round-lifecycle events; serve them with ServeObservability. Nil
+	// disables observation.
+	Obs *Observer
 }
 
 // NewPeerNode builds a TCP edge server with the Metropolis weight row for
@@ -97,5 +102,6 @@ func NewPeerNode(cfg PeerConfig) (*PeerNode, error) {
 		RoundTimeout:   cfg.RoundTimeout,
 		ConnectTimeout: cfg.ConnectTimeout,
 		Logf:           cfg.Logf,
+		Obs:            cfg.Obs,
 	})
 }

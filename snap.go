@@ -193,6 +193,10 @@ type Config struct {
 	// full refresh and recursion restarts are enabled automatically to
 	// keep the iteration exact under loss.
 	FailureRate float64
+	// Obs, when set, streams live metrics and round events from the
+	// simulated cluster: engine series are labeled node="<id>", phase
+	// histograms aggregate across nodes. See NewObserver.
+	Obs *Observer
 }
 
 // Train runs decentralized SNAP training over a simulated network and
@@ -216,6 +220,7 @@ func Train(cfg Config) (*Result, error) {
 		PerNodeInit:     cfg.PerNodeInit,
 		Float32Wire:     cfg.Float32Wire,
 		FailureRate:     cfg.FailureRate,
+		Obs:             cfg.Obs,
 	})
 	if err != nil {
 		return nil, err
