@@ -15,6 +15,21 @@
 // Every node deterministically generates the same synthetic credit
 // dataset from -data-seed and takes shard -id of it, so no data
 // distribution step is needed for experimentation.
+//
+// # Elastic mode
+//
+// With -coordinator the static flags (-id, -peers, -topology) are ignored:
+// the node joins the cluster through a snapcoord coordinator, which
+// assigns its id, neighbors, and centrally optimized mixing weights, and
+// reconfigures the whole cluster (with a re-optimized weight matrix) every
+// time a node joins or leaves:
+//
+//	snapcoord -listen 127.0.0.1:7100 -min-members 3 &
+//	snapnode -coordinator 127.0.0.1:7100 &
+//	snapnode -coordinator 127.0.0.1:7100 &
+//	snapnode -coordinator 127.0.0.1:7100 &
+//	# ... later, join a fourth node mid-training:
+//	snapnode -coordinator 127.0.0.1:7100
 package main
 
 import (
@@ -50,6 +65,12 @@ func main() {
 
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus text), /snapshot (JSON) and /debug/pprof on this address while training (e.g. 127.0.0.1:9090; empty = off)")
 		eventsPath  = flag.String("events", "", "append round-lifecycle events as JSON lines to this file (\"-\" = stderr; empty = off)")
+
+		coordinator = flag.String("coordinator", "", "coordinator control-plane address; enables elastic mode (-id/-peers/-topology are then ignored)")
+		joinWait    = flag.Duration("join", 2*time.Minute, "elastic mode: how long to wait for admission and the founding quorum")
+		listenAddr  = flag.String("listen", "127.0.0.1:0", "elastic mode: data-plane listen address")
+		advertise   = flag.String("advertise", "", "elastic mode: data-plane address other members dial (default: the bound listen address)")
+		shards      = flag.Int("shards", 8, "elastic mode: number of data shards; a node with id i trains shard i mod shards")
 	)
 	flag.Parse()
 
@@ -63,6 +84,11 @@ func main() {
 			Verbose:        *verbose,
 			MetricsAddr:    *metricsAddr,
 			EventsPath:     *eventsPath,
+			Coordinator:    *coordinator,
+			JoinWait:       *joinWait,
+			ListenAddr:     *listenAddr,
+			Advertise:      *advertise,
+			Shards:         *shards,
 		}); err != nil {
 		fmt.Fprintln(os.Stderr, "snapnode:", err)
 		os.Exit(1)
@@ -79,11 +105,61 @@ type faultOpts struct {
 	Verbose        bool
 	MetricsAddr    string
 	EventsPath     string
+
+	// Elastic mode (all unused unless Coordinator is set).
+	Coordinator string
+	JoinWait    time.Duration
+	ListenAddr  string
+	Advertise   string
+	Shards      int
+}
+
+// parsePolicy maps the -policy flag to a SendPolicy.
+func parsePolicy(name string) (snap.SendPolicy, error) {
+	switch name {
+	case "snap":
+		return snap.SNAP, nil
+	case "snap0":
+		return snap.SNAP0, nil
+	case "sno":
+		return snap.SNO, nil
+	default:
+		return 0, fmt.Errorf("unknown -policy %q", name)
+	}
+}
+
+// observability builds the metrics registry, event log, and observer from
+// the flags (all nil when observability is off). The returned cleanup
+// flushes and closes the event file; serving over HTTP is the caller's
+// job, since the node id may not be known yet.
+func observability(fo faultOpts) (*snap.Observer, *snap.MetricsRegistry, *snap.EventLog, func(), error) {
+	cleanup := func() {}
+	if fo.MetricsAddr == "" && fo.EventsPath == "" {
+		return nil, nil, nil, cleanup, nil
+	}
+	reg := snap.NewMetricsRegistry()
+	var eventLog *snap.EventLog
+	if fo.EventsPath != "" {
+		if fo.EventsPath == "-" {
+			eventLog = snap.NewEventLog(os.Stderr)
+		} else {
+			f, err := os.OpenFile(fo.EventsPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return nil, nil, nil, cleanup, fmt.Errorf("open -events file: %w", err)
+			}
+			cleanup = func() { f.Close() }
+			eventLog = snap.NewEventLog(f)
+		}
+	}
+	return snap.NewObserver(reg, eventLog), reg, eventLog, cleanup, nil
 }
 
 func run(id int, peersArg, topology string, degree float64, rounds int,
 	alpha float64, policyName string, seed, dataSeed int64, samples int,
 	timeout time.Duration, fo faultOpts) error {
+	if fo.Coordinator != "" {
+		return runElastic(rounds, alpha, policyName, seed, dataSeed, samples, timeout, fo)
+	}
 	peers := strings.Split(peersArg, ",")
 	n := len(peers)
 	if peersArg == "" || n < 2 {
@@ -105,16 +181,9 @@ func run(id int, peersArg, topology string, degree float64, rounds int,
 		return fmt.Errorf("unknown -topology %q", topology)
 	}
 
-	var policy snap.SendPolicy
-	switch policyName {
-	case "snap":
-		policy = snap.SNAP
-	case "snap0":
-		policy = snap.SNAP0
-	case "sno":
-		policy = snap.SNO
-	default:
-		return fmt.Errorf("unknown -policy %q", policyName)
+	policy, err := parsePolicy(policyName)
+	if err != nil {
+		return err
 	}
 
 	// Every node generates the same dataset and takes its own shard.
@@ -134,27 +203,11 @@ func run(id int, peersArg, topology string, degree float64, rounds int,
 	}
 
 	// Observability: metrics registry + JSONL event log, served over HTTP.
-	var (
-		reg      *snap.MetricsRegistry
-		eventLog *snap.EventLog
-		observer *snap.Observer
-	)
-	if fo.MetricsAddr != "" || fo.EventsPath != "" {
-		reg = snap.NewMetricsRegistry()
-		if fo.EventsPath != "" {
-			if fo.EventsPath == "-" {
-				eventLog = snap.NewEventLog(os.Stderr)
-			} else {
-				f, err := os.OpenFile(fo.EventsPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-				if err != nil {
-					return fmt.Errorf("open -events file: %w", err)
-				}
-				defer f.Close()
-				eventLog = snap.NewEventLog(f)
-			}
-		}
-		observer = snap.NewObserver(reg, eventLog)
+	observer, reg, eventLog, cleanup, err := observability(fo)
+	if err != nil {
+		return err
 	}
+	defer cleanup()
 	if fo.MetricsAddr != "" {
 		srv, addr, err := snap.ServeObservability(fo.MetricsAddr, id, reg, eventLog)
 		if err != nil {
@@ -219,5 +272,93 @@ func run(id int, peersArg, topology string, degree float64, rounds int,
 		fmt.Printf("node %d tolerated faults: %d failed broadcast(s), %d reconnect(s), %d full refresh(es)\n",
 			id, node.SendFailures(), reconnects, node.Refreshes())
 	}
+	return nil
+}
+
+// runElastic joins the cluster through the coordinator: the node id,
+// topology position, and (centrally re-optimized) mixing weights all come
+// from the coordinator's epochs rather than from flags.
+func runElastic(rounds int, alpha float64, policyName string,
+	seed, dataSeed int64, samples int, timeout time.Duration, fo faultOpts) error {
+	policy, err := parsePolicy(policyName)
+	if err != nil {
+		return err
+	}
+	if fo.Shards <= 0 {
+		return fmt.Errorf("-shards must be positive, got %d", fo.Shards)
+	}
+
+	// Every node generates the same dataset; the shard is picked by the
+	// coordinator-assigned id once it is known.
+	rng := rand.New(rand.NewSource(dataSeed))
+	ds := snap.SyntheticCredit(snap.CreditConfig{Samples: samples}, rng)
+	train, test := ds.Split(0.85, rng)
+	parts, err := train.Partition(fo.Shards, rng)
+	if err != nil {
+		return err
+	}
+
+	var logf func(format string, args ...any)
+	if fo.Verbose {
+		logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	observer, reg, eventLog, cleanup, err := observability(fo)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	model := snap.NewLinearSVM(ds.NumFeature)
+	fmt.Printf("joining cluster via coordinator %s\n", fo.Coordinator)
+	node, err := snap.NewPeerNode(snap.PeerConfig{
+		Model:           model,
+		DataForID:       func(id int) *snap.Dataset { return parts[id%fo.Shards] },
+		Alpha:           alpha,
+		Policy:          policy,
+		Seed:            seed,
+		RefreshEvery:    fo.RefreshEvery,
+		RestartEvery:    fo.RestartEvery,
+		ListenAddr:      fo.ListenAddr,
+		CoordinatorAddr: fo.Coordinator,
+		Advertise:       fo.Advertise,
+		JoinWait:        fo.JoinWait,
+		RoundTimeout:    timeout,
+		ConnectTimeout:  fo.ConnectTimeout,
+		Logf:            logf,
+		Obs:             observer,
+	})
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	id := node.Engine().ID()
+	fmt.Printf("node %d admitted (epoch %d), listening on %s; training to round %d\n",
+		id, node.Epoch(), node.Addr(), rounds)
+
+	if fo.MetricsAddr != "" {
+		srv, addr, err := snap.ServeObservability(fo.MetricsAddr, id, reg, eventLog)
+		if err != nil {
+			return fmt.Errorf("start metrics server: %w", err)
+		}
+		defer srv.Close()
+		fmt.Printf("node %d metrics on http://%s/metrics\n", id, addr)
+	}
+
+	start := time.Now()
+	trace, err := node.Run(rounds)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	localAcc := snap.Accuracy(model, node.Engine().Params(), test)
+	lastLoss := 0.0
+	if stat, ok := trace.Last(); ok {
+		lastLoss = stat.Loss
+	}
+	fmt.Printf("node %d done in %v: epoch %d, local loss %.4f, accuracy %.4f, bytes sent %d\n",
+		id, elapsed.Round(time.Millisecond), node.Epoch(), lastLoss, localAcc, node.BytesSent())
 	return nil
 }

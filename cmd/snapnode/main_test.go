@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"github.com/snapml/snap"
 )
 
 // freePorts reserves n distinct TCP ports by listening and closing.
@@ -73,6 +75,65 @@ func TestRunValidation(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			if err := tc.f(); err == nil {
 				t.Error("invalid flags accepted")
+			}
+		})
+	}
+}
+
+// TestElasticCluster drives the -coordinator code path: three in-process
+// "snapnode" invocations found a cluster through an in-process
+// coordinator, with ids, topology, and weights all coordinator-assigned.
+func TestElasticCluster(t *testing.T) {
+	coord, err := snap.NewCoordinator(snap.CoordinatorConfig{
+		MinMembers: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	fo := faultOpts{
+		ConnectTimeout: 5 * time.Second,
+		Coordinator:    coord.Addr(),
+		JoinWait:       10 * time.Second,
+		ListenAddr:     "127.0.0.1:0",
+		Shards:         4,
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// id/-peers/-topology are ignored in elastic mode.
+			errs[i] = run(-1, "", "", 0, 12, 0.1, "snap", 7, 8, 600, 2*time.Second, fo)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("elastic node %d: %v", i, err)
+		}
+	}
+	if got := coord.Epoch(); got < 1 {
+		t.Errorf("coordinator epoch = %d, want >= 1", got)
+	}
+}
+
+func TestRunValidationElastic(t *testing.T) {
+	cases := []struct {
+		name string
+		fo   faultOpts
+	}{
+		{"badPolicyElastic", faultOpts{Coordinator: "127.0.0.1:1", Shards: 4}},
+		{"badShards", faultOpts{Coordinator: "127.0.0.1:1", Shards: 0}},
+	}
+	policy := map[string]string{"badPolicyElastic": "blast", "badShards": "snap"}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(-1, "", "", 0, 1, 0.1, policy[tc.name], 1, 2, 100, time.Second, tc.fo)
+			if err == nil {
+				t.Error("invalid elastic flags accepted")
 			}
 		})
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strconv"
 	"time"
 
@@ -209,6 +210,62 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	}
 	return e, nil
 }
+
+// Reconfigure swaps the engine's mixing row and neighbor set in place —
+// the node-side half of an epoch switch. Views of retained neighbors
+// survive (their parameters did not change just because the topology
+// did); views of new neighbors are seeded with the node's own iterate and
+// corrected by the full-parameter exchange the switch forces: Reconfigure
+// restarts the EXTRA recursion (stale correction history must not span a
+// topology change) and schedules a full send, and every reconfiguring
+// peer does the same, so the first post-switch Integrate replaces the
+// seeded views with exact ones before they are ever mixed.
+//
+// Like the rest of the engine it must be called from the training-loop
+// goroutine, between rounds.
+func (e *Engine) Reconfigure(wRow linalg.Vector, neighbors []int) error {
+	if len(wRow) <= e.cfg.ID {
+		return fmt.Errorf("core: node %d reconfigure: weight row has length %d", e.cfg.ID, len(wRow))
+	}
+	var rowSum float64
+	for _, w := range wRow {
+		rowSum += w
+	}
+	if math.Abs(rowSum-1) > 1e-6 {
+		return fmt.Errorf("core: node %d reconfigure: weight row sums to %g, want 1", e.cfg.ID, rowSum)
+	}
+	nbrs := append([]int(nil), neighbors...)
+	sort.Ints(nbrs)
+	cur := make(map[int]linalg.Vector, len(nbrs))
+	prev := make(map[int]linalg.Vector, len(nbrs))
+	for _, j := range nbrs {
+		if old, ok := e.neighborCur[j]; ok {
+			cur[j] = old
+			prev[j] = e.neighborPrev[j]
+		} else {
+			cur[j] = e.x.Clone()
+			prev[j] = e.x.Clone()
+		}
+	}
+	e.neighborCur, e.neighborPrev = cur, prev
+	e.wRow = wRow.Clone()
+	e.cfg.Neighbors = nbrs
+	e.RestartNow()
+	e.forceFull = true
+	return nil
+}
+
+// Neighbors returns a copy of the current neighbor id set.
+func (e *Engine) Neighbors() []int {
+	return append([]int(nil), e.cfg.Neighbors...)
+}
+
+// RestartNow restarts the EXTRA two-term recursion immediately: the next
+// Step applies the k=0 equation from the current iterate, discarding the
+// accumulated correction history. RestartEvery is this, on a timer;
+// explicit callers use it when the history is known to be invalid (e.g.
+// the topology or weight matrix just changed).
+func (e *Engine) RestartNow() { e.restartRecursion() }
 
 // publishAPE mirrors the APE controller's state into the gauges.
 func (e *Engine) publishAPE() {

@@ -309,3 +309,78 @@ func TestEngineRestartsWhenRequested(t *testing.T) {
 		t.Error("no EXTRA restart after 40 iterations with RestartRecursion on")
 	}
 }
+
+func TestEngineReconfigure(t *testing.T) {
+	eng := newTestEngine(t, SendSelected)
+	for round := 0; round < 5; round++ {
+		eng.Step(round)
+	}
+	restartsBefore := eng.Restarts()
+
+	// New cluster: neighbor 2 left, neighbor 3 joined (sparse row in
+	// node-id space).
+	row := linalg.Vector{0.4, 0.3, 0, 0.3}
+	if err := eng.Reconfigure(row, []int{3, 1}); err != nil {
+		t.Fatalf("Reconfigure: %v", err)
+	}
+	if got := eng.Neighbors(); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("Neighbors() = %v, want [1 3]", got)
+	}
+	if eng.Restarts() != restartsBefore+1 {
+		t.Errorf("Reconfigure did not restart the recursion (restarts %d -> %d)",
+			restartsBefore, eng.Restarts())
+	}
+	if eng.k != 0 {
+		t.Errorf("k = %d after Reconfigure, want 0", eng.k)
+	}
+	// The view of the new neighbor is seeded with our own iterate.
+	if got := eng.neighborCur[3]; math.Abs(got[0]-eng.x[0]) > 1e-15 {
+		t.Errorf("new neighbor view[0] = %g, want own x[0] = %g", got[0], eng.x[0])
+	}
+	if _, ok := eng.neighborCur[2]; ok {
+		t.Error("removed neighbor 2 still has a view")
+	}
+	// The switch forces a full send regardless of policy.
+	u, err := eng.BuildUpdate(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Indices) != eng.cfg.Model.NumParams() {
+		t.Errorf("post-reconfigure update carries %d params, want all %d",
+			len(u.Indices), eng.cfg.Model.NumParams())
+	}
+	// A further step runs the k=0 recursion without touching the old
+	// neighbor-prev state.
+	eng.Step(7)
+
+	if err := eng.Reconfigure(linalg.Vector{1}, nil); err != nil {
+		t.Fatalf("Reconfigure to solo: %v", err)
+	}
+	eng.Step(8)
+
+	if err := eng.Reconfigure(linalg.Vector{0.5, 0.4}, []int{1}); err == nil {
+		t.Error("non-stochastic row accepted")
+	}
+	if err := eng.Reconfigure(linalg.Vector{}, nil); err == nil {
+		t.Error("short row accepted")
+	}
+}
+
+func TestEngineRestartNow(t *testing.T) {
+	eng := newTestEngine(t, SendAll)
+	for round := 0; round < 3; round++ {
+		eng.Step(round)
+	}
+	if eng.k == 0 {
+		t.Fatal("k did not advance")
+	}
+	before := eng.Restarts()
+	eng.RestartNow()
+	if eng.k != 0 || eng.Restarts() != before+1 {
+		t.Errorf("RestartNow: k = %d, restarts %d -> %d", eng.k, before, eng.Restarts())
+	}
+	eng.Step(3)
+	if eng.k != 1 {
+		t.Errorf("k = %d after post-restart step, want 1", eng.k)
+	}
+}

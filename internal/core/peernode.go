@@ -1,11 +1,14 @@
 package core
 
 import (
+	"fmt"
 	"math"
+	"net"
 	"sync/atomic"
 	"time"
 
 	"github.com/snapml/snap/internal/codec"
+	"github.com/snapml/snap/internal/controlplane"
 	"github.com/snapml/snap/internal/metrics"
 	"github.com/snapml/snap/internal/obs"
 	"github.com/snapml/snap/internal/transport"
@@ -22,6 +25,24 @@ type PeerNodeConfig struct {
 	Engine EngineConfig
 	// ListenAddr is this node's TCP listen address (e.g. "127.0.0.1:0").
 	ListenAddr string
+	// Listener, when set, supplies an already-bound data-plane listener and
+	// ListenAddr is ignored. Elastic nodes need it: the coordinator join
+	// handshake advertises the data-plane address, so the socket must be
+	// bound before the node id (and hence the engine) exists.
+	Listener net.Listener
+	// Control, when set, attaches the node to a cluster coordinator: each
+	// round is reported via heartbeat, and newer epochs are applied at the
+	// next round boundary (links dropped/dialed, weight row swapped, EXTRA
+	// restarted, full-parameter refresh forced).
+	Control *controlplane.Client
+	// Epoch is the id of the epoch the initial Engine configuration was
+	// derived from (0 for a static cluster); only strictly newer epochs are
+	// applied.
+	Epoch int
+	// StartRound is the first round Run executes. Founders start at 0;
+	// a node joining mid-training starts at its admission epoch's
+	// ApplyAtRound, aligning its round counter with the cluster.
+	StartRound int
 	// RoundTimeout bounds how long a round waits for straggler neighbors
 	// before proceeding with whatever arrived (default 5s).
 	RoundTimeout time.Duration
@@ -60,6 +81,9 @@ type PeerNode struct {
 	engine *Engine
 	peer   *transport.Peer
 
+	// epoch is the id of the last applied cluster epoch (elastic mode).
+	epoch int
+
 	// needRefresh is set by the transport's reconnect callback and
 	// consumed at the top of the next round: the node sends its full
 	// parameter vector so the reconnected neighbor's stale view heals.
@@ -79,6 +103,9 @@ type roundMetrics struct {
 	roundSeconds                     *obs.Histogram
 	round, roundBytes, localLoss     *obs.Gauge
 	sendFailures, corrupt, refreshes *obs.Counter
+	epoch                            *obs.Gauge
+	epochsApplied                    *obs.Counter
+	reconfigSeconds                  *obs.Histogram
 }
 
 func newRoundMetrics(o *obs.Observer) roundMetrics {
@@ -99,6 +126,10 @@ func newRoundMetrics(o *obs.Observer) roundMetrics {
 		sendFailures: o.Counter(obs.MSendFailures),
 		corrupt:      o.Counter(obs.MCorruptFrames),
 		refreshes:    o.Counter(obs.MRefreshes),
+
+		epoch:           o.Gauge(obs.MEpoch),
+		epochsApplied:   o.Counter(obs.MEpochsApplied),
+		reconfigSeconds: o.Histogram(obs.MReconfigSeconds, obs.TimeBuckets),
 	}
 }
 
@@ -116,14 +147,20 @@ func NewPeerNode(cfg PeerNodeConfig) (*PeerNode, error) {
 	if err != nil {
 		return nil, err
 	}
-	peer, err := transport.NewPeer(cfg.Engine.ID, cfg.ListenAddr)
-	if err != nil {
-		return nil, err
+	var peer *transport.Peer
+	if cfg.Listener != nil {
+		peer = transport.NewPeerFromListener(cfg.Engine.ID, cfg.Listener)
+	} else {
+		peer, err = transport.NewPeer(cfg.Engine.ID, cfg.ListenAddr)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if cfg.Obs != nil {
 		peer.SetObserver(cfg.Obs)
 	}
-	pn := &PeerNode{cfg: cfg, engine: eng, peer: peer, met: newRoundMetrics(cfg.Obs)}
+	pn := &PeerNode{cfg: cfg, engine: eng, peer: peer, epoch: cfg.Epoch, met: newRoundMetrics(cfg.Obs)}
+	pn.met.epoch.Set(float64(cfg.Epoch))
 	peer.SetReconnectHandler(func(nid int) {
 		pn.needRefresh.Store(true)
 		pn.logf("node %d: link to %d reconnected; scheduling full-parameter refresh", cfg.Engine.ID, nid)
@@ -173,18 +210,40 @@ func (pn *PeerNode) Connect(neighborAddrs map[int]string) error {
 	return pn.peer.Connect(neighborAddrs, pn.cfg.ConnectTimeout)
 }
 
-// Run executes the given number of rounds and returns the per-iteration
+// Run executes rounds [StartRound, rounds) and returns the per-iteration
 // trace (loss is this node's local objective; global metrics are the
-// caller's concern since no single node sees the whole cluster).
+// caller's concern since no single node sees the whole cluster). rounds
+// is the cluster-wide round horizon, not a count: a node that joined at
+// StartRound 20 with rounds = 40 executes 20 rounds.
 //
 // Per the paper's straggler semantics a failed neighbor link never aborts
 // the node: the send error is recorded and the round proceeds; the
 // receiver reuses the neighbor's last-known parameters. Only local errors
 // (engine, codec) are fatal.
+//
+// In elastic mode (Control set) each round boundary first applies any
+// newer epoch, then reports the round to the coordinator.
 func (pn *PeerNode) Run(rounds int) (*metrics.Trace, error) {
 	id := pn.engine.ID()
 	trace := &metrics.Trace{}
-	for round := 0; round < rounds; round++ {
+	startRound := pn.cfg.StartRound
+	if pn.cfg.Control != nil {
+		// A joiner that was slow between admission and Run may find the
+		// cluster already past its epoch's ApplyAtRound; round-tagged
+		// frames buffered by the transport reveal how far, and skipping
+		// straight there avoids draining the backlog one round at a time.
+		if lr := pn.peer.LatestRound(); lr > startRound {
+			pn.logf("node %d: fast-forwarding from round %d to %d (cluster is ahead)", id, startRound, lr)
+			startRound = lr
+		}
+	}
+	for round := startRound; round < rounds; round++ {
+		if err := pn.maybeReconfigure(round); err != nil {
+			return trace, err
+		}
+		if pn.cfg.Control != nil {
+			pn.cfg.Control.ReportRound(round)
+		}
 		roundStart := time.Now()
 		bytesBefore := pn.peer.BytesSent()
 		pn.met.round.Set(float64(round))
@@ -283,5 +342,94 @@ func (pn *PeerNode) Run(rounds int) (*metrics.Trace, error) {
 	return trace, nil
 }
 
-// Close shuts down the transport.
-func (pn *PeerNode) Close() error { return pn.peer.Close() }
+// Epoch returns the id of the cluster epoch this node last applied (its
+// initial epoch until a reconfiguration happens).
+func (pn *PeerNode) Epoch() int { return pn.epoch }
+
+// maybeReconfigure applies the newest coordinator epoch if the node has
+// reached its ApplyAtRound boundary: removed links are dropped, added
+// links dialed, the engine's weight row and neighbor set swapped, the
+// EXTRA recursion restarted, and a full-parameter refresh forced. Within
+// an epoch the node is indistinguishable from a static-cluster one.
+func (pn *PeerNode) maybeReconfigure(round int) error {
+	if pn.cfg.Control == nil {
+		return nil
+	}
+	plan, err := pn.cfg.Control.PlanNewerThan(pn.epoch)
+	if err != nil {
+		// The newest epoch excludes this node (evicted after a control-
+		// plane outage) or is malformed. Keep training on the current
+		// configuration: former neighbors have dropped us, so gathers run
+		// on straggler semantics until the caller notices and exits.
+		pn.logf("node %d: ignoring epoch: %v", pn.engine.ID(), err)
+		return nil
+	}
+	if plan == nil || round < plan.StartRound {
+		return nil
+	}
+	id := pn.engine.ID()
+	start := time.Now()
+	oldSet := make(map[int]bool)
+	for _, nid := range pn.engine.Neighbors() {
+		oldSet[nid] = true
+	}
+	newSet := make(map[int]bool, len(plan.Neighbors))
+	dial := make(map[int]string)
+	for _, nid := range plan.Neighbors {
+		newSet[nid] = true
+		if !oldSet[nid] {
+			dial[nid] = plan.Addrs[nid]
+		}
+	}
+	for nid := range oldSet {
+		if !newSet[nid] {
+			pn.peer.Drop(nid)
+		}
+	}
+	if len(dial) > 0 {
+		if err := pn.peer.Connect(dial, pn.cfg.ConnectTimeout); err != nil {
+			// A peer that cannot be reached yet is a straggler, not a
+			// fatal error: its address is registered, so the transport
+			// keeps reconnecting in the background.
+			pn.cfg.Obs.Emit(id, obs.EvFault, round, -1,
+				map[string]any{"kind": "reconfig_connect", "error": err.Error()})
+			pn.logf("node %d: epoch %d: connecting new links: %v (continuing)", id, plan.Epoch, err)
+		}
+	}
+	if err := pn.engine.Reconfigure(plan.WRow, plan.Neighbors); err != nil {
+		return err
+	}
+	pn.epoch = plan.Epoch
+	pn.cfg.Control.ReportEpoch(plan.Epoch)
+	sec := time.Since(start).Seconds()
+	pn.met.epoch.Set(float64(plan.Epoch))
+	pn.met.epochsApplied.Inc()
+	pn.met.reconfigSeconds.Observe(sec)
+	pn.cfg.Obs.Emit(id, obs.EvEpochApplied, round, -1, map[string]any{
+		"epoch":     plan.Epoch,
+		"neighbors": len(plan.Neighbors),
+		"seconds":   sec,
+	})
+	pn.logf("node %d: applied epoch %d at round %d (%d neighbors, %.1fms)",
+		id, plan.Epoch, round, len(plan.Neighbors), sec*1000)
+	return nil
+}
+
+// Leave gracefully leaves an elastic cluster: the coordinator removes the
+// node and publishes a shrunk epoch — unless the departure would
+// disconnect the remaining topology, in which case an error is returned
+// and the node remains a member.
+func (pn *PeerNode) Leave(timeout time.Duration) error {
+	if pn.cfg.Control == nil {
+		return fmt.Errorf("core: node %d is not attached to a coordinator", pn.engine.ID())
+	}
+	return pn.cfg.Control.Leave(timeout)
+}
+
+// Close shuts down the control-plane client (if any) and the transport.
+func (pn *PeerNode) Close() error {
+	if pn.cfg.Control != nil {
+		pn.cfg.Control.Close()
+	}
+	return pn.peer.Close()
+}

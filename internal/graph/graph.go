@@ -47,6 +47,37 @@ func (g *Graph) AddEdge(u, v int) {
 	g.adj[v][u] = true
 }
 
+// AddVertex appends a new isolated vertex and returns its index (the new
+// N−1). Membership churn uses it when an edge server joins the cluster.
+func (g *Graph) AddVertex() int {
+	g.adj = append(g.adj, make(map[int]bool))
+	g.n++
+	return g.n - 1
+}
+
+// RemoveVertex deletes vertex v along with every incident edge and
+// renumbers vertices above v down by one, keeping the vertex set dense
+// (0..N−2). Callers tracking external identities must shift their own
+// mappings the same way. It panics if v is out of range.
+func (g *Graph) RemoveVertex(v int) {
+	g.checkVertex(v)
+	for u := range g.adj[v] {
+		delete(g.adj[u], v)
+	}
+	g.adj = append(g.adj[:v], g.adj[v+1:]...)
+	g.n--
+	for i, m := range g.adj {
+		shifted := make(map[int]bool, len(m))
+		for u := range m {
+			if u > v {
+				u--
+			}
+			shifted[u] = true
+		}
+		g.adj[i] = shifted
+	}
+}
+
 // HasEdge reports whether {u, v} is an edge.
 func (g *Graph) HasEdge(u, v int) bool {
 	g.checkVertex(u)

@@ -1,0 +1,121 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAddVertex(t *testing.T) {
+	g := Ring(4)
+	v := g.AddVertex()
+	if v != 4 || g.N() != 5 {
+		t.Fatalf("AddVertex returned %d on N=%d, want 4 on 5", v, g.N())
+	}
+	if g.Degree(v) != 0 {
+		t.Fatalf("new vertex has degree %d, want 0", g.Degree(v))
+	}
+	if g.IsConnected() {
+		t.Fatal("graph with isolated new vertex must not be connected")
+	}
+	g.AddEdge(v, 0)
+	g.AddEdge(v, 2)
+	if !g.IsConnected() {
+		t.Fatal("graph should be connected after attaching new vertex")
+	}
+	if got := g.Neighbors(v); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("new vertex neighbors = %v, want [0 2]", got)
+	}
+}
+
+// TestRemoveVertexRenumbers pins the renumbering contract: removing v
+// shifts every vertex above v down by one, preserving all non-incident
+// edges.
+func TestRemoveVertexRenumbers(t *testing.T) {
+	// 0-1-2-3-4 path plus chord {1,4}.
+	g := New(5)
+	for i := 0; i < 4; i++ {
+		g.AddEdge(i, i+1)
+	}
+	g.AddEdge(1, 4)
+
+	g.RemoveVertex(2)
+	if g.N() != 4 {
+		t.Fatalf("N = %d after removal, want 4", g.N())
+	}
+	// Old vertices 3, 4 are now 2, 3. Surviving edges: {0,1}, {2,3}
+	// (old {3,4}) and {1,3} (old chord {1,4}).
+	wantEdges := []Edge{{U: 0, V: 1}, {U: 1, V: 3}, {U: 2, V: 3}}
+	got := g.Edges()
+	if len(got) != len(wantEdges) {
+		t.Fatalf("edges = %v, want %v", got, wantEdges)
+	}
+	for i, e := range wantEdges {
+		if got[i] != e {
+			t.Fatalf("edges = %v, want %v", got, wantEdges)
+		}
+	}
+}
+
+// TestRemoveVertexConnectivityAndDiameter checks that IsConnected and
+// Diameter stay correct after removals — both the case where the graph
+// stays connected and the articulation-point case where it splits.
+func TestRemoveVertexConnectivityAndDiameter(t *testing.T) {
+	// Ring of 6: removing any vertex leaves a 5-path.
+	g := Ring(6)
+	g.RemoveVertex(3)
+	if !g.IsConnected() {
+		t.Fatal("ring minus one vertex must stay connected")
+	}
+	if d := g.Diameter(); d != 4 {
+		t.Fatalf("path diameter = %d, want 4", d)
+	}
+
+	// Star: removing the hub isolates every leaf.
+	s := Star(5)
+	s.RemoveVertex(0)
+	if s.IsConnected() {
+		t.Fatal("star minus hub must be disconnected")
+	}
+	if d := s.Diameter(); d != -1 {
+		t.Fatalf("disconnected diameter = %d, want -1", d)
+	}
+
+	// Removing a leaf keeps the star connected.
+	s2 := Star(5)
+	s2.RemoveVertex(4)
+	if !s2.IsConnected() {
+		t.Fatal("star minus leaf must stay connected")
+	}
+	if d := s2.Diameter(); d != 2 {
+		t.Fatalf("star diameter = %d, want 2", d)
+	}
+}
+
+// TestChurnSequence grows and shrinks a random graph repeatedly, checking
+// structural invariants hold throughout (the control-plane usage pattern).
+func TestChurnSequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := RandomConnected(8, 3, rng)
+	for step := 0; step < 40; step++ {
+		if rng.Intn(2) == 0 || g.N() <= 3 {
+			v := g.AddVertex()
+			// Attach to two random existing vertices to stay connected.
+			g.AddEdge(v, rng.Intn(v))
+			g.AddEdge(v, rng.Intn(v))
+		} else {
+			g.RemoveVertex(rng.Intn(g.N()))
+		}
+		// Invariants: edge symmetry, no self-loops, in-range endpoints.
+		for _, e := range g.Edges() {
+			if e.U == e.V || e.U < 0 || e.V >= g.N() {
+				t.Fatalf("step %d: bad edge %+v on N=%d", step, e, g.N())
+			}
+			if !g.HasEdge(e.V, e.U) {
+				t.Fatalf("step %d: edge %+v not symmetric", step, e)
+			}
+		}
+		if g.IsConnected() && g.N() > 1 && g.Diameter() < 1 {
+			t.Fatalf("step %d: connected graph with diameter %d", step, g.Diameter())
+		}
+	}
+}

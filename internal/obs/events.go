@@ -22,6 +22,13 @@ const (
 	EvReconnect  = "reconnect"   // link healed after a failure (f: down_seconds)
 	EvRefresh    = "refresh"     // full-parameter broadcast (f: reason)
 	EvFault      = "fault"       // tolerated fault (f: kind, error)
+
+	// Control plane: elastic membership and epoch reconfiguration.
+	EvLinkDrop       = "link_drop"       // neighbor removed by reconfiguration
+	EvMemberJoin     = "member_join"     // coordinator admitted a member (f: addr)
+	EvMemberLeave    = "member_leave"    // coordinator removed a member (f: reason)
+	EvEpochBroadcast = "epoch_broadcast" // coordinator published an epoch (f: epoch, members, apply_at_round, lambda_bar_max, objective)
+	EvEpochApplied   = "epoch_applied"   // node switched to an epoch (f: epoch, neighbors, seconds)
 )
 
 // Event is one JSONL record. Round and Peer are -1 when not applicable

@@ -46,4 +46,18 @@ const (
 	MCorruptFrames = "snap_corrupt_frames_total"
 	MRefreshes     = "snap_reconnect_refreshes_total"
 	MLocalLoss     = "snap_local_loss"
+
+	// Control plane. The epoch gauge and reconfiguration histogram live on
+	// nodes; member counts and join/leave/broadcast counters live on the
+	// coordinator.
+	MEpoch            = "snap_epoch"                  // current epoch id (node + coordinator)
+	MEpochsApplied    = "snap_epochs_applied_total"   // reconfigurations a node performed
+	MReconfigSeconds  = "snap_reconfig_seconds"       // epoch-application latency (drop+connect+swap)
+	MMembers          = "snap_members"                // coordinator's current member count
+	MJoins            = "snap_member_joins_total"     // admitted joins
+	MLeaves           = "snap_member_leaves_total"    // graceful leaves
+	MEvictions        = "snap_member_evictions_total" // heartbeat-timeout evictions
+	MEpochsBroadcast  = "snap_epochs_broadcast_total" // epochs the coordinator published
+	MLambdaBarMax     = "snap_w_lambda_bar_max"       // λ̄max(W) of the current epoch's matrix
+	MWeightOptSeconds = "snap_weight_opt_seconds"     // central W re-optimization time
 )

@@ -89,9 +89,13 @@ type Peer struct {
 	pending   map[int]map[int][]byte
 
 	bytesSent atomic.Int64
-	closed    chan struct{}
-	closeOnce sync.Once
-	wg        sync.WaitGroup
+	// latestRound tracks the highest round tag seen on any inbound frame:
+	// a node (re)joining an elastic cluster uses it to fast-forward its
+	// round counter to where the cluster actually is.
+	latestRound atomic.Int64
+	closed      chan struct{}
+	closeOnce   sync.Once
+	wg          sync.WaitGroup
 
 	// Observability. The handles are always valid: with no observer they
 	// are detached metrics, so hot paths record unconditionally.
@@ -129,6 +133,14 @@ func NewPeer(id int, addr string) (*Peer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: peer %d listen: %w", id, err)
 	}
+	return NewPeerFromListener(id, ln), nil
+}
+
+// NewPeerFromListener wraps an already-bound listener in a peer. Elastic
+// clusters need this ordering: a node must know its listen address to
+// advertise it to the coordinator, but only learns its id from the join
+// response — so it listens first and builds the peer afterwards.
+func NewPeerFromListener(id int, ln net.Listener) *Peer {
 	p := &Peer{
 		id:         id,
 		listener:   ln,
@@ -146,7 +158,7 @@ func NewPeer(id int, addr string) (*Peer, error) {
 	p.initObsHandles()
 	p.wg.Add(1)
 	go p.acceptLoop()
-	return p, nil
+	return p
 }
 
 // initObsHandles (re)binds the link-independent metric handles against the
@@ -212,6 +224,36 @@ func (p *Peer) SetFaults(f *FaultSet) {
 	p.mu.Lock()
 	p.faults = f
 	p.mu.Unlock()
+}
+
+// LatestRound returns the highest round tag observed on any inbound
+// frame, or -1 before the first frame. An elastically joining node uses
+// it to fast-forward its round counter when the coordinator's view of the
+// cluster's progress was stale.
+func (p *Peer) LatestRound() int { return int(p.latestRound.Load()) - 1 }
+
+// Drop removes neighbor nid from the peer's neighbor set: the connection
+// (if any) is closed, the stored address is forgotten so no reconnect
+// loop revives the link, and Gather stops expecting frames from it. Used
+// when an epoch reconfiguration removes a topology edge or a member
+// leaves the cluster. Dropping an unknown neighbor is a no-op.
+func (p *Peer) Drop(nid int) {
+	p.mu.Lock()
+	delete(p.addrs, nid)
+	pc, ok := p.conns[nid]
+	if ok {
+		delete(p.conns, nid)
+	}
+	o := p.obs
+	p.mu.Unlock()
+	if ok {
+		// The read loop's removeConn will find the registry no longer
+		// holds pc and exit quietly; no reconnect loop is spawned because
+		// the address is gone.
+		pc.conn.Close()
+		o.Emit(p.id, obs.EvLinkDrop, -1, nid, nil)
+	}
+	p.notifyMembership()
 }
 
 // Healthy reports whether a live connection to neighbor nid is currently
@@ -502,9 +544,13 @@ func (p *Peer) reconnectLoop(nid int, addr string) {
 		}
 		p.mu.Lock()
 		_, up := p.conns[nid]
+		_, wanted := p.addrs[nid]
 		p.mu.Unlock()
 		if up {
 			return // the other side reconnected to us
+		}
+		if !wanted {
+			return // neighbor was Dropped; stop trying to revive the link
 		}
 		conn, err := p.dialOnce(addr, time.Now().Add(dialAttemptTimeout))
 		if err == nil {
@@ -561,6 +607,14 @@ func (p *Peer) readLoop(from int, pc *peerConn) {
 		}
 		lm.framesIn.Inc()
 		lm.bytesIn.Add(int64(size))
+		// Track the cluster's highest observed round (stored +1 so the
+		// zero value reads as "none seen" = -1).
+		for {
+			cur := p.latestRound.Load()
+			if int64(round)+1 <= cur || p.latestRound.CompareAndSwap(cur, int64(round)+1) {
+				break
+			}
+		}
 		select {
 		case p.inbox <- inFrame{from: from, round: round, frame: frame}:
 		case <-p.closed:
@@ -612,12 +666,7 @@ func (p *Peer) Send(to, round int, frame []byte) error {
 // whose links are down are simply skipped — they are already counted as
 // stragglers by the receiver side.
 func (p *Peer) Broadcast(round int, frame []byte) error {
-	p.mu.Lock()
-	ids := make([]int, 0, len(p.conns))
-	for nid := range p.conns {
-		ids = append(ids, nid)
-	}
-	p.mu.Unlock()
+	ids := p.expectedConns()
 	var firstErr error
 	for _, nid := range ids {
 		if err := p.Send(nid, round, frame); err != nil && firstErr == nil {
@@ -627,12 +676,30 @@ func (p *Peer) Broadcast(round int, frame []byte) error {
 	return firstErr
 }
 
+// expectedConns returns the ids of connected neighbors that are also
+// *expected* — registered via Connect (and not since Dropped). A live
+// connection from a peer outside the expected set (an elastically joining
+// node that dialed ahead of the epoch switch) is neither broadcast to nor
+// waited for; its buffered frames become visible once an epoch adds it.
+func (p *Peer) expectedConns() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ids := make([]int, 0, len(p.conns))
+	for nid := range p.conns {
+		if _, ok := p.addrs[nid]; ok {
+			ids = append(ids, nid)
+		}
+	}
+	return ids
+}
+
 // Gather blocks until a frame for the given round has arrived from every
-// currently connected neighbor, or the timeout elapses; it returns
-// whatever arrived (possibly empty). Frames from other rounds are buffered
-// for their own Gather calls. The expected count is re-evaluated whenever
-// the connection set changes, so a neighbor that dies mid-round costs at
-// most this one timeout — subsequent rounds no longer wait for it.
+// currently connected *expected* neighbor (see expectedConns), or the
+// timeout elapses; it returns whatever arrived (possibly empty). Frames
+// from other rounds are buffered for their own Gather calls. The expected
+// count is re-evaluated whenever the connection set changes, so a
+// neighbor that dies mid-round costs at most this one timeout —
+// subsequent rounds no longer wait for it.
 func (p *Peer) Gather(round int, timeout time.Duration) map[int][]byte {
 	start := time.Now()
 	got, want := p.gather(round, timeout)
@@ -650,16 +717,31 @@ func (p *Peer) Gather(round int, timeout time.Duration) map[int][]byte {
 }
 
 // gather implements Gather, additionally returning the number of frames
-// it was waiting for when it returned (for straggler accounting).
+// it was waiting for when it returned (for straggler accounting). Frames
+// from senders outside the expected neighbor set are withheld (left
+// buffered): handing them up would make the engine reject the round,
+// since a not-yet-reconfigured engine treats them as non-neighbors.
 func (p *Peer) gather(round int, timeout time.Duration) (map[int][]byte, int) {
 	deadline := time.NewTimer(timeout)
 	defer deadline.Stop()
 
-	for {
+	take := func() (map[int][]byte, int) {
 		got := p.takePending(round)
-		p.mu.Lock()
-		want := len(p.conns)
-		p.mu.Unlock()
+		expected := p.expectedConns()
+		want := len(expected)
+		keep := make(map[int]bool, want)
+		for _, nid := range expected {
+			keep[nid] = true
+		}
+		for from := range got {
+			if !keep[from] {
+				delete(got, from)
+			}
+		}
+		return got, want
+	}
+	for {
+		got, want := take()
 		if len(got) >= want {
 			return got, want
 		}
@@ -669,9 +751,11 @@ func (p *Peer) gather(round int, timeout time.Duration) (map[int][]byte, int) {
 		case <-p.membership:
 			// Connection set changed; recompute want.
 		case <-deadline.C:
-			return p.takePending(round), want
+			got, want := take()
+			return got, want
 		case <-p.closed:
-			return p.takePending(round), want
+			got, want := take()
+			return got, want
 		}
 	}
 }

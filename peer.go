@@ -2,8 +2,11 @@ package snap
 
 import (
 	"fmt"
+	"math"
+	"net"
 	"time"
 
+	"github.com/snapml/snap/internal/controlplane"
 	"github.com/snapml/snap/internal/core"
 	"github.com/snapml/snap/internal/weights"
 )
@@ -17,15 +20,31 @@ type PeerNode = core.PeerNode
 // must use the same Topology, Model, Alpha, Policy and Seed so the
 // cluster executes a single coherent EXTRA iteration.
 type PeerConfig struct {
-	// ID is this node's index in the topology.
+	// ID is this node's index in the topology. Ignored in elastic mode
+	// (CoordinatorAddr set), where the coordinator assigns the id.
 	ID int
 	// Topology is the shared neighbor graph; the node mixes with
-	// Topology.Neighbors(ID).
+	// Topology.Neighbors(ID). Ignored in elastic mode, where the
+	// coordinator owns the topology.
 	Topology *Topology
+	// WRow, when set, overrides the mixing weight row this node uses:
+	// WRow[j] is w_{ID,j}. It must have Topology.N() entries, sum to 1,
+	// and be zero everywhere except the diagonal and the node's topology
+	// neighbors. Use OptimizeWeightRows to precompute optimized rows
+	// centrally and distribute them; when nil, the node derives the
+	// Metropolis row (which needs only local degree information). Ignored
+	// in elastic mode, where every epoch carries coordinator-optimized
+	// rows.
+	WRow []float64
 	// Model is the shared architecture.
 	Model Model
 	// Data is this node's local partition.
 	Data *Dataset
+	// DataForID, when set, supplies the local partition as a function of
+	// the node id — needed in elastic mode when data assignment depends on
+	// the id, which is unknown until the coordinator assigns it. Takes
+	// precedence over Data.
+	DataForID func(id int) *Dataset
 	// Alpha is the EXTRA step size.
 	Alpha float64
 	// Policy selects SNAP / SNAP0 / SNO (default SNAP).
@@ -53,6 +72,21 @@ type PeerConfig struct {
 	// ephemeral port; neighbors are given to Connect after every listener
 	// is up).
 	ListenAddr string
+	// CoordinatorAddr, when set, switches the node to elastic mode: it
+	// joins the cluster through the coordinator at this address, receives
+	// its id, weight row, and neighbor set from the current epoch, and
+	// applies later epochs (membership changes with re-optimized W) at
+	// round boundaries. NewPeerNode blocks until the cluster's founding
+	// quorum is complete, connects to the epoch's neighbors itself, and
+	// returns a node ready to Run — do not call Connect.
+	CoordinatorAddr string
+	// Advertise is the data-plane address other members dial, when the
+	// listener's own address (e.g. an ephemeral 127.0.0.1 port) is not
+	// reachable from them. Elastic mode only.
+	Advertise string
+	// JoinWait bounds how long an elastic node waits in NewPeerNode for
+	// the cluster's founding quorum (default 2 minutes).
+	JoinWait time.Duration
 	// RoundTimeout bounds the per-round wait for stragglers (default 5s).
 	RoundTimeout time.Duration
 	// ConnectTimeout bounds cluster formation (default 10s).
@@ -67,28 +101,48 @@ type PeerConfig struct {
 	Obs *Observer
 }
 
-// NewPeerNode builds a TCP edge server with the Metropolis weight row for
-// its topology position. (Weight-matrix optimization requires global
-// spectral information, so multi-process deployments either precompute
-// the matrix centrally or use the Metropolis weights, as here.)
+// NewPeerNode builds a TCP edge server.
+//
+// In static mode (no CoordinatorAddr) the node takes its position from
+// Topology/ID and uses the Metropolis weight row — or the precomputed
+// WRow, validated against the topology. Call Connect with the neighbor
+// addresses, then Run.
+//
+// In elastic mode (CoordinatorAddr set) the node binds its listener,
+// joins through the coordinator, and configures itself entirely from the
+// cluster's current epoch: id, optimized weight row, neighbors and their
+// addresses. It connects to those neighbors before returning, so the
+// caller proceeds straight to Run.
 func NewPeerNode(cfg PeerConfig) (*PeerNode, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("snap: peer config requires a model")
+	}
+	if cfg.CoordinatorAddr != "" {
+		return newElasticPeerNode(cfg)
+	}
 	if cfg.Topology == nil {
 		return nil, fmt.Errorf("snap: peer config requires a topology")
 	}
 	if cfg.ID < 0 || cfg.ID >= cfg.Topology.N() {
 		return nil, fmt.Errorf("snap: peer id %d out of range for %d-node topology", cfg.ID, cfg.Topology.N())
 	}
-	if cfg.Model == nil {
-		return nil, fmt.Errorf("snap: peer config requires a model")
+	row := Vector(cfg.WRow)
+	if row == nil {
+		row = weights.Metropolis(cfg.Topology, 0).Row(cfg.ID)
+	} else if err := validateWRow(row, cfg.Topology, cfg.ID); err != nil {
+		return nil, err
 	}
-	w := weights.Metropolis(cfg.Topology, 0)
+	data := cfg.Data
+	if cfg.DataForID != nil {
+		data = cfg.DataForID(cfg.ID)
+	}
 	return core.NewPeerNode(core.PeerNodeConfig{
 		Engine: core.EngineConfig{
 			ID:             cfg.ID,
 			Model:          cfg.Model,
-			Data:           cfg.Data,
+			Data:           data,
 			Alpha:          cfg.Alpha,
-			WRow:           w.Row(cfg.ID),
+			WRow:           row,
 			Neighbors:      cfg.Topology.Neighbors(cfg.ID),
 			BatchSize:      cfg.BatchSize,
 			Policy:         cfg.Policy,
@@ -104,4 +158,107 @@ func NewPeerNode(cfg PeerConfig) (*PeerNode, error) {
 		Logf:           cfg.Logf,
 		Obs:            cfg.Obs,
 	})
+}
+
+// validateWRow checks a user-supplied weight row against the topology:
+// right length, row-stochastic, and supported only on the diagonal plus
+// the node's neighbors (a nonzero weight for a non-neighbor would mix
+// parameters the node never receives).
+func validateWRow(row Vector, topo *Topology, id int) error {
+	if len(row) != topo.N() {
+		return fmt.Errorf("snap: weight row has %d entries for a %d-node topology", len(row), topo.N())
+	}
+	var sum float64
+	for _, w := range row {
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("snap: weight row sums to %g, want 1", sum)
+	}
+	for j, w := range row {
+		if w != 0 && j != id && !topo.HasEdge(id, j) {
+			return fmt.Errorf("snap: weight row has nonzero entry %g for non-neighbor %d", w, j)
+		}
+	}
+	return nil
+}
+
+// newElasticPeerNode implements the coordinator-managed join path.
+func newElasticPeerNode(cfg PeerConfig) (*PeerNode, error) {
+	listenAddr := cfg.ListenAddr
+	if listenAddr == "" {
+		listenAddr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("snap: bind data-plane listener: %w", err)
+	}
+	advertise := cfg.Advertise
+	if advertise == "" {
+		advertise = ln.Addr().String()
+	}
+	client, err := controlplane.Join(controlplane.ClientConfig{
+		Coordinator: cfg.CoordinatorAddr,
+		Advertise:   advertise,
+		JoinWait:    cfg.JoinWait,
+		Logf:        cfg.Logf,
+	})
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	plan, err := client.Latest().PlanFor(client.ID())
+	if err != nil {
+		client.Close()
+		ln.Close()
+		return nil, err
+	}
+	client.ReportRound(plan.StartRound)
+	client.ReportEpoch(plan.Epoch)
+	data := cfg.Data
+	if cfg.DataForID != nil {
+		data = cfg.DataForID(client.ID())
+	}
+	pn, err := core.NewPeerNode(core.PeerNodeConfig{
+		Engine: core.EngineConfig{
+			ID:           client.ID(),
+			Model:        cfg.Model,
+			Data:         data,
+			Alpha:        cfg.Alpha,
+			WRow:         plan.WRow,
+			Neighbors:    plan.Neighbors,
+			BatchSize:    cfg.BatchSize,
+			Policy:       cfg.Policy,
+			APE:          cfg.APE,
+			RefreshEvery: cfg.RefreshEvery,
+			RestartEvery: cfg.RestartEvery,
+			Init:         cfg.Model.InitParams(cfg.Seed),
+		},
+		Listener:       ln,
+		Control:        client,
+		Epoch:          plan.Epoch,
+		StartRound:     plan.StartRound,
+		RoundTimeout:   cfg.RoundTimeout,
+		ConnectTimeout: cfg.ConnectTimeout,
+		Logf:           cfg.Logf,
+		Obs:            cfg.Obs,
+	})
+	if err != nil {
+		client.Close()
+		ln.Close()
+		return nil, err
+	}
+	// A node admitted mid-training holds the shared seed initialization
+	// while the cluster's iterates have moved on; its first broadcast must
+	// therefore be its complete parameter vector, whatever the policy.
+	pn.Engine().RequestFullSend()
+	if err := pn.Connect(plan.Addrs); err != nil {
+		// Unreached neighbors keep reconnecting in the background; the
+		// round loop treats them as stragglers meanwhile.
+		if cfg.Logf != nil {
+			cfg.Logf("node %d: connecting to epoch %d neighbors: %v (continuing)",
+				client.ID(), plan.Epoch, err)
+		}
+	}
+	return pn, nil
 }

@@ -175,6 +175,117 @@ func TestPeerConfigValidation(t *testing.T) {
 	}
 }
 
+// TestOptimizedWRowsThroughFacade distributes centrally optimized
+// weight rows to a static TCP cluster via PeerConfig.WRow — the
+// coordinator-less path to the paper's Section IV-B optimization — and
+// checks the cluster still reaches consensus.
+func TestOptimizedWRowsThroughFacade(t *testing.T) {
+	const servers = 4
+	model, parts, _ := facadeWorkload(t, servers)
+	topo := snap.RingTopology(servers)
+
+	rows, err := snap.OptimizeWeightRows(topo, snap.BoundParams{Alpha: 0.1}, snap.WeightOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != servers {
+		t.Fatalf("%d rows for %d nodes", len(rows), servers)
+	}
+	for i, row := range rows {
+		var sum float64
+		for j, w := range row {
+			sum += w
+			if w != 0 && j != i && !topo.HasEdge(i, j) {
+				t.Errorf("row %d has nonzero weight %g for non-neighbor %d", i, w, j)
+			}
+			if math.Abs(w-rows[j][i]) > 1e-9 {
+				t.Errorf("rows not symmetric at (%d,%d): %g vs %g", i, j, w, rows[j][i])
+			}
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Errorf("row %d sums to %g", i, sum)
+		}
+	}
+
+	nodes := make([]*snap.PeerNode, servers)
+	addrs := make(map[int]string, servers)
+	for i := range nodes {
+		node, err := snap.NewPeerNode(snap.PeerConfig{
+			ID: i, Topology: topo, WRow: rows[i], Model: model, Data: parts[i],
+			Alpha: 0.1, Policy: snap.SNAP, Seed: 11,
+			ListenAddr: "127.0.0.1:0", RoundTimeout: 5 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+		addrs[i] = node.Addr()
+		defer node.Close()
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, servers)
+	for i, node := range nodes {
+		wg.Add(1)
+		go func(i int, node *snap.PeerNode) {
+			defer wg.Done()
+			neighbors := make(map[int]string)
+			for _, j := range topo.Neighbors(i) {
+				neighbors[j] = addrs[j]
+			}
+			if err := node.Connect(neighbors); err != nil {
+				errs[i] = err
+				return
+			}
+			_, errs[i] = node.Run(25)
+		}(i, node)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+	}
+	ref := nodes[0].Engine().Params()
+	for i, node := range nodes[1:] {
+		if d := node.Engine().Params().Sub(ref).NormInf(); d > 0.1 {
+			t.Errorf("node %d disagreement %v with optimized rows", i+1, d)
+		}
+	}
+}
+
+func TestWRowValidation(t *testing.T) {
+	model, parts, _ := facadeWorkload(t, 4)
+	topo := snap.RingTopology(4) // node 0's neighbors: 1 and 3; 2 is not one
+	base := snap.PeerConfig{
+		ID: 0, Topology: topo, Model: model, Data: parts[0],
+		Alpha: 0.1, ListenAddr: "127.0.0.1:0",
+	}
+	cases := []struct {
+		name string
+		row  []float64
+	}{
+		{"wrongLength", []float64{0.5, 0.5}},
+		{"notStochastic", []float64{0.5, 0.2, 0, 0.2}},
+		{"nonNeighborSupport", []float64{0.4, 0.2, 0.2, 0.2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			cfg.WRow = tc.row
+			if _, err := snap.NewPeerNode(cfg); err == nil {
+				t.Errorf("weight row %v accepted", tc.row)
+			}
+		})
+	}
+	cfg := base
+	cfg.WRow = []float64{0.5, 0.25, 0, 0.25}
+	node, err := snap.NewPeerNode(cfg)
+	if err != nil {
+		t.Fatalf("valid weight row rejected: %v", err)
+	}
+	node.Close()
+}
+
 func TestStragglerTrainingThroughFacade(t *testing.T) {
 	model, parts, test := facadeWorkload(t, 5)
 	res, err := snap.Train(snap.Config{
