@@ -48,9 +48,19 @@ func main() {
 	}
 }
 
+// closeAnd runs close when the surrounding function returns and records
+// its error into *err unless an earlier error is already being returned.
+// Deferred `x.Close()` calls silently drop failures; shutdown errors
+// (unflushed event logs, listener teardown) must reach the exit status.
+func closeAnd(err *error, what string, close func() error) {
+	if cerr := close(); cerr != nil && *err == nil {
+		*err = fmt.Errorf("%s: %w", what, cerr)
+	}
+}
+
 func run(listen string, minMembers, attachDegree, applyMargin int,
 	hbTimeout time.Duration, alpha float64, verbose bool,
-	metricsAddr, eventsPath string) error {
+	metricsAddr, eventsPath string) (err error) {
 	var logf func(format string, args ...any)
 	if verbose {
 		logf = func(format string, args ...any) {
@@ -73,7 +83,7 @@ func run(listen string, minMembers, attachDegree, applyMargin int,
 				if err != nil {
 					return fmt.Errorf("open -events file: %w", err)
 				}
-				defer f.Close()
+				defer closeAnd(&err, "close -events file", f.Close)
 				eventLog = snap.NewEventLog(f)
 			}
 		}
@@ -93,7 +103,7 @@ func run(listen string, minMembers, attachDegree, applyMargin int,
 	if err != nil {
 		return err
 	}
-	defer coord.Close()
+	defer closeAnd(&err, "close coordinator", coord.Close)
 	fmt.Printf("coordinator listening on %s (min members %d)\n", coord.Addr(), minMembers)
 
 	if metricsAddr != "" {
@@ -101,7 +111,7 @@ func run(listen string, minMembers, attachDegree, applyMargin int,
 		if err != nil {
 			return fmt.Errorf("start metrics server: %w", err)
 		}
-		defer srv.Close()
+		defer closeAnd(&err, "close metrics server", srv.Close)
 		fmt.Printf("coordinator metrics on http://%s/metrics\n", addr)
 	}
 

@@ -1,0 +1,136 @@
+// Command snaplint runs the repo's project-specific analyzers:
+//
+//	lockguard — `// guarded by <mu>` fields accessed under their mutex,
+//	            no mixed sync/atomic + plain field access
+//	wiretag   — wire structs fully covered by explicit json/wire tags
+//	obsname   — metric/event names are internal/obs constants, unique
+//	floatdet  — deterministic float reductions in the numeric packages
+//
+// Two modes share the analyzers:
+//
+//	snaplint ./...                      standalone, loads via `go list`
+//	go vet -vettool=$(which snaplint) ./...   driven by the build system
+//
+// The vettool mode speaks cmd/go's unitchecker protocol (-V=full,
+// -flags, one JSON .cfg per compilation unit), so results are cached
+// per package like any other vet run, and _test.go files are covered.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/snapml/snap/internal/analysis/floatdet"
+	"github.com/snapml/snap/internal/analysis/lint"
+	"github.com/snapml/snap/internal/analysis/load"
+	"github.com/snapml/snap/internal/analysis/lockguard"
+	"github.com/snapml/snap/internal/analysis/obsname"
+	"github.com/snapml/snap/internal/analysis/unit"
+	"github.com/snapml/snap/internal/analysis/wiretag"
+)
+
+func analyzers() []*lint.Analyzer {
+	return []*lint.Analyzer{
+		lockguard.Analyzer,
+		wiretag.Analyzer,
+		obsname.Analyzer,
+		floatdet.Analyzer,
+	}
+}
+
+func main() {
+	as := analyzers()
+	if err := lint.Validate(as); err != nil {
+		fmt.Fprintln(os.Stderr, "snaplint:", err)
+		os.Exit(2)
+	}
+
+	args := os.Args[1:]
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			if err := unit.PrintVersion(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "snaplint:", err)
+				os.Exit(2)
+			}
+			return
+		case a == "-flags" || a == "--flags":
+			if err := unit.PrintFlags(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "snaplint:", err)
+				os.Exit(2)
+			}
+			return
+		}
+	}
+
+	// Unitchecker mode: exactly one *.cfg argument from `go vet`.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		diags, err := unit.Run(args[0], as)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "snaplint:", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		if len(diags) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	os.Exit(standalone(args, as))
+}
+
+func standalone(args []string, as []*lint.Analyzer) int {
+	fs := flag.NewFlagSet("snaplint", flag.ExitOnError)
+	tests := fs.Bool("tests", true, "also analyze _test.go files (test variants)")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: snaplint [-tests=false] [packages]\n   or: go vet -vettool=<path to snaplint> [packages]\n\nAnalyzers:\n")
+		for _, a := range as {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	units, err := load.Load(load.Config{Tests: *tests}, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snaplint:", err)
+		return 2
+	}
+
+	found := 0
+	for _, u := range units {
+		for _, a := range as {
+			pass := &lint.Pass{
+				Analyzer:  a,
+				Fset:      u.Fset,
+				Files:     u.Files,
+				Pkg:       u.Pkg,
+				TypesInfo: u.Info,
+			}
+			name := a.Name
+			pass.Report = func(d lint.Diagnostic) {
+				found++
+				fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", u.Fset.Position(d.Pos), d.Message, name)
+			}
+			if _, err := a.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "snaplint: %s: %s: %v\n", u.Pkg.Path(), a.Name, err)
+				return 2
+			}
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "snaplint: %d finding(s)\n", found)
+		return 1
+	}
+	return 0
+}

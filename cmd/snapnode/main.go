@@ -130,10 +130,12 @@ func parsePolicy(name string) (snap.SendPolicy, error) {
 
 // observability builds the metrics registry, event log, and observer from
 // the flags (all nil when observability is off). The returned cleanup
-// flushes and closes the event file; serving over HTTP is the caller's
-// job, since the node id may not be known yet.
-func observability(fo faultOpts) (*snap.Observer, *snap.MetricsRegistry, *snap.EventLog, func(), error) {
-	cleanup := func() {}
+// closes the event file and reports its error — a close failure on an
+// O_APPEND log can mean dropped events, so callers must check it;
+// serving over HTTP is the caller's job, since the node id may not be
+// known yet.
+func observability(fo faultOpts) (*snap.Observer, *snap.MetricsRegistry, *snap.EventLog, func() error, error) {
+	cleanup := func() error { return nil }
 	if fo.MetricsAddr == "" && fo.EventsPath == "" {
 		return nil, nil, nil, cleanup, nil
 	}
@@ -147,16 +149,26 @@ func observability(fo faultOpts) (*snap.Observer, *snap.MetricsRegistry, *snap.E
 			if err != nil {
 				return nil, nil, nil, cleanup, fmt.Errorf("open -events file: %w", err)
 			}
-			cleanup = func() { f.Close() }
+			cleanup = f.Close
 			eventLog = snap.NewEventLog(f)
 		}
 	}
 	return snap.NewObserver(reg, eventLog), reg, eventLog, cleanup, nil
 }
 
+// closeAnd runs close when the surrounding function returns and records
+// its error into *err unless an earlier error is already being returned.
+// Deferred `x.Close()` calls silently drop failures; shutdown errors
+// (unflushed event logs, listener teardown) must reach the exit status.
+func closeAnd(err *error, what string, close func() error) {
+	if cerr := close(); cerr != nil && *err == nil {
+		*err = fmt.Errorf("%s: %w", what, cerr)
+	}
+}
+
 func run(id int, peersArg, topology string, degree float64, rounds int,
 	alpha float64, policyName string, seed, dataSeed int64, samples int,
-	timeout time.Duration, fo faultOpts) error {
+	timeout time.Duration, fo faultOpts) (err error) {
 	if fo.Coordinator != "" {
 		return runElastic(rounds, alpha, policyName, seed, dataSeed, samples, timeout, fo)
 	}
@@ -207,13 +219,13 @@ func run(id int, peersArg, topology string, degree float64, rounds int,
 	if err != nil {
 		return err
 	}
-	defer cleanup()
+	defer closeAnd(&err, "close -events file", cleanup)
 	if fo.MetricsAddr != "" {
 		srv, addr, err := snap.ServeObservability(fo.MetricsAddr, id, reg, eventLog)
 		if err != nil {
 			return fmt.Errorf("start metrics server: %w", err)
 		}
-		defer srv.Close()
+		defer closeAnd(&err, "close metrics server", srv.Close)
 		fmt.Printf("node %d metrics on http://%s/metrics\n", id, addr)
 	}
 
@@ -238,7 +250,7 @@ func run(id int, peersArg, topology string, degree float64, rounds int,
 	if err != nil {
 		return err
 	}
-	defer node.Close()
+	defer closeAnd(&err, "close node", node.Close)
 
 	neighbors := make(map[int]string)
 	for _, j := range topo.Neighbors(id) {
@@ -279,7 +291,7 @@ func run(id int, peersArg, topology string, degree float64, rounds int,
 // topology position, and (centrally re-optimized) mixing weights all come
 // from the coordinator's epochs rather than from flags.
 func runElastic(rounds int, alpha float64, policyName string,
-	seed, dataSeed int64, samples int, timeout time.Duration, fo faultOpts) error {
+	seed, dataSeed int64, samples int, timeout time.Duration, fo faultOpts) (err error) {
 	policy, err := parsePolicy(policyName)
 	if err != nil {
 		return err
@@ -308,7 +320,7 @@ func runElastic(rounds int, alpha float64, policyName string,
 	if err != nil {
 		return err
 	}
-	defer cleanup()
+	defer closeAnd(&err, "close -events file", cleanup)
 
 	model := snap.NewLinearSVM(ds.NumFeature)
 	fmt.Printf("joining cluster via coordinator %s\n", fo.Coordinator)
@@ -332,7 +344,7 @@ func runElastic(rounds int, alpha float64, policyName string,
 	if err != nil {
 		return err
 	}
-	defer node.Close()
+	defer closeAnd(&err, "close node", node.Close)
 	id := node.Engine().ID()
 	fmt.Printf("node %d admitted (epoch %d), listening on %s; training to round %d\n",
 		id, node.Epoch(), node.Addr(), rounds)
@@ -342,7 +354,7 @@ func runElastic(rounds int, alpha float64, policyName string,
 		if err != nil {
 			return fmt.Errorf("start metrics server: %w", err)
 		}
-		defer srv.Close()
+		defer closeAnd(&err, "close metrics server", srv.Close)
 		fmt.Printf("node %d metrics on http://%s/metrics\n", id, addr)
 	}
 

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -80,6 +81,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Figure tables can be large; write them through one buffered,
+	// error-checked writer so a broken pipe or full disk is reported
+	// in the exit status instead of silently truncating the output.
+	out := bufio.NewWriter(os.Stdout)
+
 	opt := experiments.Options{Quick: *quick, Seed: *seed}
 	var ids []string
 	if strings.EqualFold(*fig, "all") {
@@ -98,23 +104,29 @@ func main() {
 		start := time.Now()
 		res, err := run(opt)
 		if err != nil {
+			out.Flush() // keep already-rendered figures on a partial failure
 			fmt.Fprintf(os.Stderr, "snapsim: figure %s: %v\n", id, err)
 			os.Exit(1)
 		}
 		if *csv {
 			for _, tab := range res.Tables {
-				fmt.Printf("# %s\n%s\n", tab.Title, tab.CSV())
+				fmt.Fprintf(out, "# %s\n%s\n", tab.Title, tab.CSV())
 			}
 		} else {
-			fmt.Print(res.Render())
+			fmt.Fprint(out, res.Render())
 		}
 		if *outDir != "" {
 			if err := writeCSVs(*outDir, res); err != nil {
+				out.Flush()
 				fmt.Fprintln(os.Stderr, "snapsim:", err)
 				os.Exit(1)
 			}
 		}
-		fmt.Printf("# figure %s completed in %v\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(out, "# figure %s completed in %v\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if err := out.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "snapsim: writing output:", err)
+		os.Exit(1)
 	}
 }
 

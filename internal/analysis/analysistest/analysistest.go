@@ -1,0 +1,169 @@
+// Package analysistest runs a lint.Analyzer over packages under a
+// testdata tree and checks its diagnostics against expectations written
+// in the sources as trailing comments:
+//
+//	x.count++ // want `not guarded`
+//
+// Each string after "want" is a regular expression that must match a
+// diagnostic reported on that line; diagnostics not matched by any
+// expectation, and expectations not matched by any diagnostic, fail the
+// test. This is the x/tools analysistest contract, reimplemented on the
+// stdlib-only load driver.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/snapml/snap/internal/analysis/lint"
+	"github.com/snapml/snap/internal/analysis/load"
+)
+
+type key struct {
+	file string
+	line int
+}
+
+// Run analyzes testdata/src/<pkg> for each named package and reports
+// mismatches via t. The testdata packages live inside the module, so
+// `go list` resolves their imports (including intra-repo ones) against
+// the build cache.
+func Run(t *testing.T, testdata string, a *lint.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		dir := filepath.Join(testdata, "src", pkg)
+		units, err := load.Load(load.Config{Dir: dir}, ".")
+		if err != nil {
+			t.Errorf("%s: loading %s: %v", a.Name, dir, err)
+			continue
+		}
+		for _, u := range units {
+			runUnit(t, a, u)
+		}
+	}
+}
+
+func runUnit(t *testing.T, a *lint.Analyzer, u *load.Unit) {
+	t.Helper()
+
+	var diags []lint.Diagnostic
+	pass := &lint.Pass{
+		Analyzer:  a,
+		Fset:      u.Fset,
+		Files:     u.Files,
+		Pkg:       u.Pkg,
+		TypesInfo: u.Info,
+		Report:    func(d lint.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Errorf("%s: analyzer failed: %v", a.Name, err)
+		return
+	}
+
+	type expectation struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	want := make(map[key][]*expectation)
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				patterns, ok := wantPatterns(c.Text)
+				if !ok {
+					continue
+				}
+				pos := u.Fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %q: %v", posString(u.Fset, f, c), p, err)
+						continue
+					}
+					want[k] = append(want[k], &expectation{re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := u.Fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		exps := want[k]
+		found := false
+		for _, e := range exps {
+			if !e.matched && e.re.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", a.Name, pos, d.Message)
+		}
+	}
+	for k, exps := range want {
+		for _, e := range exps {
+			if !e.matched {
+				t.Errorf("%s: %s:%d: no diagnostic matching %q", a.Name, k.file, k.line, e.re)
+			}
+		}
+	}
+}
+
+// wantPatterns extracts the expectation strings from a `// want ...`
+// comment: each argument is a Go string literal (quoted or backquoted).
+func wantPatterns(text string) ([]string, bool) {
+	rest, ok := strings.CutPrefix(text, "// want ")
+	if !ok {
+		return nil, false
+	}
+	var out []string
+	rest = strings.TrimSpace(rest)
+	for rest != "" {
+		switch rest[0] {
+		case '"':
+			end := 1
+			for end < len(rest) {
+				if rest[end] == '\\' {
+					end += 2
+					continue
+				}
+				if rest[end] == '"' {
+					break
+				}
+				end++
+			}
+			if end >= len(rest) {
+				return nil, false
+			}
+			s, err := strconv.Unquote(rest[:end+1])
+			if err != nil {
+				return nil, false
+			}
+			out = append(out, s)
+			rest = strings.TrimSpace(rest[end+1:])
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				return nil, false
+			}
+			out = append(out, rest[1:end+1])
+			rest = strings.TrimSpace(rest[end+2:])
+		default:
+			return nil, false
+		}
+	}
+	return out, len(out) > 0
+}
+
+func posString(fset *token.FileSet, f *ast.File, n ast.Node) string {
+	p := fset.Position(n.Pos())
+	return fmt.Sprintf("%s:%d", p.Filename, p.Line)
+}

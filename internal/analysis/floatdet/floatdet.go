@@ -1,0 +1,165 @@
+// Package floatdet protects the run-to-run determinism of the numeric
+// core (the W-matrix optimization in internal/weights and the spectral
+// routines in internal/linalg). Two patterns break it:
+//
+//   - float accumulation inside a range-over-map loop: Go randomizes
+//     map iteration order, and float addition is not associative, so
+//     the same inputs produce different sums on different runs;
+//   - direct == / != on floating-point values: results depend on
+//     rounding that varies with evaluation order and architecture.
+//     Comparing against exactly zero is exempt — `if norm == 0` guards
+//     a division and is a deliberate, exact sentinel test.
+//
+// The analyzer only fires in the numeric packages (import paths
+// containing "linalg" or "weights", plus its own testdata); elsewhere
+// float comparisons are somebody else's judgment call.
+package floatdet
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/snapml/snap/internal/analysis/lint"
+)
+
+// Analyzer is the floatdet analysis.
+var Analyzer = &lint.Analyzer{
+	Name: "floatdet",
+	Doc:  "flag nondeterministic float reductions (map-order accumulation) and exact float equality in the numeric packages",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) (any, error) {
+	if !applies(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkEquality(pass, n)
+			case *ast.RangeStmt:
+				checkMapAccumulation(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func applies(path string) bool {
+	return strings.Contains(path, "linalg") ||
+		strings.Contains(path, "weights") ||
+		strings.Contains(path, "floatdet") // the analyzer's own testdata
+}
+
+func checkEquality(pass *lint.Pass, b *ast.BinaryExpr) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	if !isFloat(pass, b.X) && !isFloat(pass, b.Y) {
+		return
+	}
+	if isZero(pass, b.X) || isZero(pass, b.Y) {
+		return
+	}
+	pass.Reportf(b.OpPos, "exact float comparison (%s) is not deterministic across evaluation orders; compare against a tolerance", b.Op)
+}
+
+func isFloat(pass *lint.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.Types[e].Type
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isZero reports whether e is a compile-time constant equal to zero —
+// the one exact value float code may legitimately test for.
+func isZero(pass *lint.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return constant.Compare(tv.Value, token.EQL, constant.MakeInt64(0))
+}
+
+// checkMapAccumulation flags float compound assignments inside a
+// range-over-map body whose accumulator outlives the loop body.
+func checkMapAccumulation(pass *lint.Pass, rng *ast.RangeStmt) {
+	if _, ok := pass.TypesInfo.Types[rng.X].Type.Underlying().(*types.Map); !ok {
+		return
+	}
+	body := rng.Body
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		case token.ASSIGN:
+			// x = x + v counts too.
+			if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			bin, ok := as.Rhs[0].(*ast.BinaryExpr)
+			if !ok || !sameExpr(as.Lhs[0], bin.X) {
+				return true
+			}
+		default:
+			return true
+		}
+		lhs := as.Lhs[0]
+		if !isFloat(pass, lhs) {
+			return true
+		}
+		if declaredWithin(pass, lhs, body) {
+			return true
+		}
+		pass.Reportf(as.Pos(), "float accumulation across a map-iteration loop depends on randomized map order; iterate over sorted keys")
+		return true
+	})
+}
+
+// declaredWithin reports whether the accumulator is a local declared
+// inside the loop body (per-iteration value, no cross-iteration
+// order dependence).
+func declaredWithin(pass *lint.Pass, e ast.Expr, body *ast.BlockStmt) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false // selector/index accumulators outlive the body
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= body.Pos() && obj.Pos() <= body.End()
+}
+
+// sameExpr is a shallow structural comparison good enough for the
+// `x = x + v` accumulator shape (identifiers and selector chains).
+func sameExpr(a, b ast.Expr) bool {
+	switch a := a.(type) {
+	case *ast.Ident:
+		b, ok := b.(*ast.Ident)
+		return ok && a.Name == b.Name
+	case *ast.SelectorExpr:
+		b, ok := b.(*ast.SelectorExpr)
+		return ok && a.Sel.Name == b.Sel.Name && sameExpr(a.X, b.X)
+	case *ast.IndexExpr:
+		b, ok := b.(*ast.IndexExpr)
+		return ok && sameExpr(a.X, b.X) && sameExpr(a.Index, b.Index)
+	}
+	return false
+}

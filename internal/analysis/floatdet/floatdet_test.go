@@ -1,0 +1,12 @@
+package floatdet_test
+
+import (
+	"testing"
+
+	"github.com/snapml/snap/internal/analysis/analysistest"
+	"github.com/snapml/snap/internal/analysis/floatdet"
+)
+
+func TestFloatdet(t *testing.T) {
+	analysistest.Run(t, "testdata", floatdet.Analyzer, "a")
+}

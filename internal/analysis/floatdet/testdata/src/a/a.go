@@ -1,0 +1,68 @@
+// Package a exercises the floatdet analyzer: exact float equality
+// (with the zero-sentinel exemption) and float accumulation under map
+// iteration order.
+package a
+
+func cmp(x, y float64) bool {
+	if x == 0 { // exact-zero sentinel: allowed
+		return true
+	}
+	if y != 0.0 { // likewise
+		return false
+	}
+	return x == y // want `exact float comparison`
+}
+
+func neqOne(x float32) bool {
+	return x != 1 // want `exact float comparison`
+}
+
+func intCmp(a, b int) bool {
+	return a == b // integers compare exactly
+}
+
+func sumMap(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v // want `float accumulation across a map-iteration loop`
+	}
+	return s
+}
+
+func sumMapExplicit(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s = s + v // want `float accumulation across a map-iteration loop`
+	}
+	return s
+}
+
+func sumSlice(xs []float64) float64 {
+	var s float64
+	for _, v := range xs {
+		s += v // slice order is deterministic
+	}
+	return s
+}
+
+func countMap(m map[int]float64) int {
+	n := 0
+	for range m {
+		n++ // integer counting is order-independent
+	}
+	return n
+}
+
+func perIteration(m map[int][]float64) float64 {
+	best := 0.0
+	for _, vs := range m {
+		t := 0.0
+		for _, v := range vs {
+			t += v // accumulator lives inside the map loop body
+		}
+		if t > best {
+			best = t
+		}
+	}
+	return best
+}

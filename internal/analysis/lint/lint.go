@@ -1,0 +1,83 @@
+// Package lint is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis core: an Analyzer is a named check, a
+// Pass hands it one typechecked package, and diagnostics flow back
+// through Pass.Report. The repo cannot vendor x/tools (builds run
+// offline), so snaplint's analyzers are written against this interface
+// instead; it is deliberately API-compatible with the subset of
+// go/analysis they need, so migrating to the real framework later is a
+// matter of changing import paths.
+//
+// Compared to go/analysis this framework omits Requires/ResultOf
+// (analyzer dependencies) and Facts (cross-package analysis): every
+// snaplint analyzer is self-contained within one compilation unit.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags. It must be
+	// a valid Go identifier.
+	Name string
+
+	// Doc is the one-paragraph description shown by `snaplint help`.
+	Doc string
+
+	// Run applies the analyzer to a single package. It may return a
+	// result value (unused by the current drivers) and an error; an
+	// error aborts the whole run, so analyzers report findings via
+	// pass.Report instead.
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass provides one analyzer run with a single typechecked package
+// and a sink for diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one finding. Drivers install it.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding tied to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string // optional sub-category within the analyzer
+	Message  string
+}
+
+// Validate checks analyzer metadata the way go/analysis does, so a
+// misregistered analyzer fails fast at driver start rather than
+// producing anonymous diagnostics.
+func Validate(analyzers []*Analyzer) error {
+	seen := make(map[string]bool)
+	for _, a := range analyzers {
+		if a == nil {
+			return fmt.Errorf("nil *Analyzer")
+		}
+		if a.Name == "" || a.Run == nil {
+			return fmt.Errorf("analyzer %q: missing Name or Run", a.Name)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	return nil
+}

@@ -1,0 +1,227 @@
+// Package load turns `go list` package patterns into typechecked
+// compilation units for the snaplint analyzers, using only the standard
+// library. It shells out to `go list -export -deps -json` for package
+// metadata and compiler export data (the build cache), parses each
+// target package's sources, and typechecks them with a gc-export-data
+// importer — the same separate-compilation strategy go vet uses, minus
+// the x/tools dependency this repo cannot vendor offline.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+)
+
+// Package mirrors the subset of `go list -json` output the driver
+// needs. ImportPath doubles as the unit's unique ID: for test variants
+// it carries the " [pkg.test]" suffix, and export data is keyed by it.
+type Package struct {
+	ImportPath string            `json:"ImportPath"`
+	Dir        string            `json:"Dir"`
+	GoFiles    []string          `json:"GoFiles"`
+	CgoFiles   []string          `json:"CgoFiles"`
+	Export     string            `json:"Export"`
+	Imports    []string          `json:"Imports"`
+	ImportMap  map[string]string `json:"ImportMap"`
+	DepOnly    bool              `json:"DepOnly"`
+	Standard   bool              `json:"Standard"`
+	ForTest    string            `json:"ForTest"`
+	Incomplete bool              `json:"Incomplete"`
+	Error      *PackageError     `json:"Error"`
+}
+
+// PackageError is go list's per-package error report (-e mode).
+type PackageError struct {
+	Pos string `json:"Pos"`
+	Err string `json:"Err"`
+}
+
+// A Unit is one parsed and typechecked package, ready for analysis.
+type Unit struct {
+	Meta  *Package
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Config controls a Load call.
+type Config struct {
+	Dir   string // working directory for `go list` ("" = process cwd)
+	Tests bool   // include _test.go files by analyzing test variants
+}
+
+// Load lists patterns, typechecks every non-dependency package, and
+// returns the units in `go list` order. When cfg.Tests is set, a
+// package with in-package tests is analyzed once as its test variant
+// ("pkg [pkg.test]", which compiles GoFiles+TestGoFiles together)
+// instead of twice.
+func Load(cfg Config, patterns ...string) ([]*Unit, error) {
+	pkgs, err := goList(cfg, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	// Index export data by resolved package path for the importer.
+	exports := make(map[string]string)
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	// One shared gc importer: it caches by resolved path, so the
+	// packages map is shared across all units (Load is sequential).
+	gc := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	var units []*Unit
+	for _, p := range pkgs {
+		if !analyzable(p, cfg.Tests, pkgs) {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		if len(p.CgoFiles) > 0 {
+			// cgo units need the generated sources; out of scope.
+			continue
+		}
+		u, err := check(fset, gc, p)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	return units, nil
+}
+
+// analyzable reports whether p is a root unit the driver should
+// typecheck and analyze (rather than an import supplying export data).
+func analyzable(p *Package, tests bool, all []*Package) bool {
+	if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
+		return false
+	}
+	if strings.HasSuffix(p.ImportPath, ".test") {
+		return false // generated test main package
+	}
+	if !tests {
+		return p.ForTest == ""
+	}
+	if p.ForTest != "" {
+		return true // "pkg [pkg.test]" or "pkg_test [pkg.test]"
+	}
+	// Plain package: skip if a test variant shadows it.
+	for _, q := range all {
+		if q.ForTest == p.ImportPath && !q.DepOnly {
+			return false
+		}
+	}
+	return true
+}
+
+func check(fset *token.FileSet, gc types.Importer, p *Package) (*Unit, error) {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		path := name
+		if !strings.HasPrefix(path, "/") {
+			path = p.Dir + string(os.PathSeparator) + name
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path := importPath
+		if r, ok := p.ImportMap[importPath]; ok {
+			path = r
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return gc.Import(path)
+	})
+
+	var firstErr error
+	tc := &types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := tc.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		if firstErr != nil {
+			err = firstErr
+		}
+		return nil, fmt.Errorf("typecheck %s: %v", p.ImportPath, err)
+	}
+	return &Unit{Meta: p, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+func goList(cfg Config, patterns []string) ([]*Package, error) {
+	args := []string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,CgoFiles,Export,Imports,ImportMap,DepOnly,Standard,ForTest,Incomplete,Error",
+	}
+	if cfg.Tests {
+		args = append(args, "-test")
+	}
+	args = append(args, "--")
+	args = append(args, patterns...)
+
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cfg.Dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	var pkgs []*Package
+	dec := json.NewDecoder(&stdout)
+	for {
+		p := new(Package)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,743 @@
+// Package lockguard checks the repo's lock-annotation discipline.
+//
+// A struct field whose comment says
+//
+//	// guarded by mu
+//	// guarded by Coordinator.mu   (a mutex on another struct)
+//
+// may only be read or written while that mutex is held. The analyzer
+// performs a conservative, instance-insensitive abstract interpretation
+// of each function body: Lock/RLock on an annotated mutex field raises
+// its held count, Unlock/RUnlock lowers it, branches are merged by
+// intersection, and a guarded-field access with a zero count is
+// reported. Three escape hatches keep the discipline usable:
+//
+//   - a function whose doc comment says "Caller holds x.mu" (any
+//     receiver or parameter x) starts with that mutex held;
+//   - values freshly constructed in the current function (composite
+//     literal, new) are exempt until they escape — the constructor
+//     pattern;
+//   - deferred unlocks do not lower the count, since they run at
+//     return.
+//
+// Independently, lockguard reports fields that mix sync/atomic access
+// (&x.f passed to atomic.LoadInt64 etc.) with plain reads or writes:
+// such fields have no consistent synchronization story at all.
+package lockguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"github.com/snapml/snap/internal/analysis/lint"
+)
+
+// Analyzer is the lockguard analysis.
+var Analyzer = &lint.Analyzer{
+	Name: "lockguard",
+	Doc:  "check that fields annotated `// guarded by <mu>` are accessed under that mutex, and that no field mixes sync/atomic and plain access",
+	Run:  run,
+}
+
+var (
+	guardRe  = regexp.MustCompile(`guarded by ([A-Za-z_]\w*)(?:\.([A-Za-z_]\w*))?`)
+	holdsRe  = regexp.MustCompile(`(?i)caller (?:must )?holds?\s+([A-Za-z_]\w*)\.([A-Za-z_]\w*)`)
+	lockOps  = map[string]int{"Lock": +1, "RLock": +1, "Unlock": -1, "RUnlock": -1}
+	fatalish = map[string]bool{"Fatal": true, "Fatalf": true, "Exit": true, "Goexit": true, "Skip": true, "Skipf": true, "SkipNow": true, "FailNow": true}
+)
+
+func run(pass *lint.Pass) (any, error) {
+	c := &checker{
+		pass:    pass,
+		guards:  make(map[*types.Var]*types.Var),
+		mutexes: make(map[*types.Var]bool),
+	}
+	c.collectAnnotations()
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.checkFunc(fd)
+		}
+	}
+	c.checkAtomicMixing()
+	return nil, nil
+}
+
+type checker struct {
+	pass    *lint.Pass
+	guards  map[*types.Var]*types.Var // guarded field -> mutex field
+	mutexes map[*types.Var]bool       // mutex fields named by annotations
+}
+
+// state maps each annotated mutex field to its abstract held count.
+// It is instance-insensitive: holding any Peer's mu counts as holding
+// Peer.mu.
+type state map[*types.Var]int
+
+func (s state) clone() state {
+	t := make(state, len(s))
+	for k, v := range s {
+		t[k] = v
+	}
+	return t
+}
+
+// merge intersects two branch-exit states: a mutex is held after the
+// join only if both paths held it.
+func merge(a, b state) state {
+	t := make(state)
+	for k, v := range a {
+		if w := b[k]; w < v {
+			v = w
+		}
+		if v > 0 {
+			t[k] = v
+		}
+	}
+	return t
+}
+
+// --- annotation collection ---------------------------------------------
+
+func (c *checker) collectAnnotations() {
+	for _, f := range c.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			c.collectStruct(st)
+			return true
+		})
+	}
+}
+
+func (c *checker) collectStruct(st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		m := guardAnnotation(field)
+		if m == nil {
+			continue
+		}
+		var guard *types.Var
+		if m[2] != "" {
+			guard = c.fieldOf(m[1], m[2]) // Type.mu
+		} else {
+			guard = c.siblingField(st, m[1]) // mu in the same struct
+		}
+		if guard == nil || !isMutex(guard.Type()) {
+			for _, name := range field.Names {
+				c.pass.Reportf(field.Pos(), "field %s: `guarded by` annotation does not name a sync.Mutex or sync.RWMutex field", name.Name)
+			}
+			continue
+		}
+		c.mutexes[guard] = true
+		for _, name := range field.Names {
+			if obj, ok := c.pass.TypesInfo.Defs[name].(*types.Var); ok {
+				c.guards[obj] = guard
+			}
+		}
+	}
+}
+
+// guardAnnotation returns the regexp match of a field's `guarded by`
+// comment (doc or trailing), or nil.
+func guardAnnotation(field *ast.Field) []string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m
+		}
+	}
+	return nil
+}
+
+// siblingField resolves a guard named like `mu` to the field object of
+// the same struct.
+func (c *checker) siblingField(st *ast.StructType, name string) *types.Var {
+	for _, field := range st.Fields.List {
+		for _, id := range field.Names {
+			if id.Name == name {
+				if v, ok := c.pass.TypesInfo.Defs[id].(*types.Var); ok {
+					return v
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// fieldOf resolves `Type.field` against the current package scope.
+func (c *checker) fieldOf(typeName, fieldName string) *types.Var {
+	obj := c.pass.Pkg.Scope().Lookup(typeName)
+	if obj == nil {
+		return nil
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); f.Name() == fieldName {
+			return f
+		}
+	}
+	return nil
+}
+
+func isMutex(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// --- per-function flow analysis ----------------------------------------
+
+type funcCtx struct {
+	c     *checker
+	fresh map[types.Object]bool // locals constructed in this function
+}
+
+func (c *checker) checkFunc(fd *ast.FuncDecl) {
+	if len(c.guards) == 0 {
+		return
+	}
+	fc := &funcCtx{c: c, fresh: make(map[types.Object]bool)}
+	st := make(state)
+	c.seedCallerHolds(fd, st)
+	fc.stmt(fd.Body, st)
+}
+
+// seedCallerHolds honors "Caller holds x.mu" doc comments by marking
+// the named mutex held on entry.
+func (c *checker) seedCallerHolds(fd *ast.FuncDecl, st state) {
+	if fd.Doc == nil {
+		return
+	}
+	for _, m := range holdsRe.FindAllStringSubmatch(fd.Doc.Text(), -1) {
+		recv, field := m[1], m[2]
+		// Resolve recv among the receiver and parameters.
+		var fields []*ast.Field
+		if fd.Recv != nil {
+			fields = append(fields, fd.Recv.List...)
+		}
+		if fd.Type.Params != nil {
+			fields = append(fields, fd.Type.Params.List...)
+		}
+		for _, f := range fields {
+			for _, id := range f.Names {
+				if id.Name != recv {
+					continue
+				}
+				obj := c.pass.TypesInfo.Defs[id]
+				if obj == nil {
+					continue
+				}
+				if mu := fieldOfType(obj.Type(), field); mu != nil && c.mutexes[mu] {
+					st[mu]++
+				}
+			}
+		}
+	}
+}
+
+func fieldOfType(t types.Type, name string) *types.Var {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); f.Name() == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// stmt interprets s under st, mutating st in place, and reports whether
+// control can fall through to the next statement.
+func (fc *funcCtx) stmt(s ast.Stmt, st state) bool {
+	switch s := s.(type) {
+	case nil:
+		return true
+
+	case *ast.BlockStmt:
+		for _, sub := range s.List {
+			if !fc.stmt(sub, st) {
+				return false
+			}
+		}
+		return true
+
+	case *ast.ExprStmt:
+		if mu, delta := fc.lockOp(s.X); mu != nil {
+			fc.expr(exprReceiverBase(s.X), st)
+			st[mu] += delta
+			if st[mu] < 0 {
+				st[mu] = 0
+			}
+			return true
+		}
+		fc.expr(s.X, st)
+		return !isTerminalCall(s.X)
+
+	case *ast.DeferStmt:
+		// A deferred unlock runs at return; the mutex stays held for
+		// the rest of the body. Deferred closures are analyzed under
+		// the current state.
+		if mu, _ := fc.lockOp(s.Call); mu != nil {
+			return true
+		}
+		fc.expr(s.Call, st)
+		return true
+
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			fc.expr(a, st)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			// A new goroutine holds nothing, whatever the spawner held.
+			fc.stmt(lit.Body, make(state))
+		} else {
+			fc.expr(s.Call.Fun, st)
+		}
+		return true
+
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			fc.expr(r, st)
+		}
+		fc.trackFresh(s)
+		for _, l := range s.Lhs {
+			fc.expr(l, st)
+		}
+		return true
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					fc.expr(v, st)
+				}
+				// `var x T` (zero value) or `x := T{...}` both yield
+				// unescaped values: constructor exemption.
+				if len(vs.Values) == 0 || allFreshValues(vs.Values) {
+					for _, id := range vs.Names {
+						if obj := fc.c.pass.TypesInfo.Defs[id]; obj != nil {
+							fc.fresh[obj] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+
+	case *ast.IncDecStmt:
+		fc.expr(s.X, st)
+		return true
+
+	case *ast.SendStmt:
+		fc.expr(s.Chan, st)
+		fc.expr(s.Value, st)
+		return true
+
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			fc.expr(e, st)
+		}
+		return false
+
+	case *ast.BranchStmt:
+		// break/continue/goto leave the enclosing construct; exclude
+		// this path from merges (conservative).
+		return false
+
+	case *ast.IfStmt:
+		fc.stmt(s.Init, st)
+		fc.expr(s.Cond, st)
+		thenSt := st.clone()
+		thenFalls := fc.stmt(s.Body, thenSt)
+		elseSt := st.clone()
+		elseFalls := true
+		if s.Else != nil {
+			elseFalls = fc.stmt(s.Else, elseSt)
+		}
+		switch {
+		case thenFalls && elseFalls:
+			replace(st, merge(thenSt, elseSt))
+		case thenFalls:
+			replace(st, thenSt)
+		case elseFalls:
+			replace(st, elseSt)
+		default:
+			return false
+		}
+		return true
+
+	case *ast.ForStmt:
+		fc.stmt(s.Init, st)
+		body := st.clone()
+		fc.expr(s.Cond, body)
+		fc.stmt(s.Body, body)
+		fc.stmt(s.Post, body)
+		// Loop bodies are assumed lock-balanced; the post-loop state is
+		// the pre-loop state.
+		return true
+
+	case *ast.RangeStmt:
+		fc.expr(s.X, st)
+		body := st.clone()
+		fc.stmt(s.Body, body)
+		return true
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return fc.branches(s, st)
+
+	case *ast.LabeledStmt:
+		return fc.stmt(s.Stmt, st)
+
+	case *ast.EmptyStmt:
+		return true
+	}
+	return true
+}
+
+// branches interprets switch/type-switch/select: every clause starts
+// from the pre-state; falling clauses are intersected. A switch without
+// a default can skip every clause, so the pre-state joins the merge.
+func (fc *funcCtx) branches(s ast.Stmt, st state) bool {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		fc.stmt(s.Init, st)
+		fc.expr(s.Tag, st)
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		fc.stmt(s.Init, st)
+		fc.stmt(s.Assign, st)
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	var exits []state
+	for _, cl := range body.List {
+		clSt := st.clone()
+		var stmts []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				fc.expr(e, clSt)
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			}
+			fc.stmt(cl.Comm, clSt)
+			stmts = cl.Body
+		}
+		falls := true
+		for _, sub := range stmts {
+			if !fc.stmt(sub, clSt) {
+				falls = false
+				break
+			}
+		}
+		if falls {
+			exits = append(exits, clSt)
+		}
+	}
+	if _, isSelect := s.(*ast.SelectStmt); !isSelect && !hasDefault {
+		// Possible that no case matched.
+		exits = append(exits, st.clone())
+	}
+	if len(exits) == 0 {
+		return false
+	}
+	out := exits[0]
+	for _, e := range exits[1:] {
+		out = merge(out, e)
+	}
+	replace(st, out)
+	return true
+}
+
+func replace(dst, src state) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// expr walks an expression under st, checking guarded-field accesses.
+func (fc *funcCtx) expr(e ast.Expr, st state) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Closures run (or are registered) with the current locks;
+			// goroutine launches are handled at the go statement.
+			fc.stmt(n.Body, st.clone())
+			return false
+		case *ast.CallExpr:
+			// Nested lock calls inside expressions (rare) still update
+			// state for the remainder of the statement.
+			if mu, delta := fc.lockOp(n); mu != nil {
+				st[mu] += delta
+				if st[mu] < 0 {
+					st[mu] = 0
+				}
+				return false
+			}
+		case *ast.SelectorExpr:
+			fc.checkAccess(n, st)
+		}
+		return true
+	})
+}
+
+// checkAccess reports a guarded-field access while its mutex is not
+// held.
+func (fc *funcCtx) checkAccess(sel *ast.SelectorExpr, st state) {
+	selInfo, ok := fc.c.pass.TypesInfo.Selections[sel]
+	if !ok || selInfo.Kind() != types.FieldVal {
+		return
+	}
+	field, ok := selInfo.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	guard := fc.c.guards[field]
+	if guard == nil {
+		return
+	}
+	if st[guard] > 0 {
+		return
+	}
+	if base, ok := sel.X.(*ast.Ident); ok {
+		if obj := fc.c.pass.TypesInfo.Uses[base]; obj != nil && fc.fresh[obj] {
+			return // freshly constructed, not yet shared
+		}
+	}
+	fc.c.pass.Reportf(sel.Sel.Pos(), "access to %q (guarded by %q) without holding the mutex", field.Name(), guard.Name())
+}
+
+// lockOp recognizes x.<mu>.Lock / Unlock / RLock / RUnlock where <mu>
+// is one of the annotated mutex fields, returning the mutex and the
+// held-count delta.
+func (fc *funcCtx) lockOp(e ast.Expr) (*types.Var, int) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil, 0
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, 0
+	}
+	delta, ok := lockOps[sel.Sel.Name]
+	if !ok {
+		return nil, 0
+	}
+	muSel, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return nil, 0
+	}
+	selInfo, ok := fc.c.pass.TypesInfo.Selections[muSel]
+	if !ok || selInfo.Kind() != types.FieldVal {
+		return nil, 0
+	}
+	mu, ok := selInfo.Obj().(*types.Var)
+	if !ok || !fc.c.mutexes[mu] {
+		return nil, 0
+	}
+	return mu, delta
+}
+
+// exprReceiverBase returns the expression under x.mu.Lock() that still
+// needs walking (x itself), so guarded accesses in the receiver chain
+// are not skipped.
+func exprReceiverBase(e ast.Expr) ast.Expr {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if muSel, ok := sel.X.(*ast.SelectorExpr); ok {
+		return muSel.X
+	}
+	return nil
+}
+
+// trackFresh records `v := T{...}`, `v := &T{...}`, `v := new(T)` so
+// constructor bodies are exempt from guard checks on v.
+func (fc *funcCtx) trackFresh(s *ast.AssignStmt) {
+	if s.Tok != token.DEFINE || len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i, l := range s.Lhs {
+		id, ok := l.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if !isFreshValue(s.Rhs[i]) {
+			continue
+		}
+		if obj := fc.c.pass.TypesInfo.Defs[id]; obj != nil {
+			fc.fresh[obj] = true
+		}
+	}
+}
+
+func allFreshValues(values []ast.Expr) bool {
+	for _, v := range values {
+		if !isFreshValue(v) {
+			return false
+		}
+	}
+	return true
+}
+
+func isFreshValue(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, ok := e.X.(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "new" {
+			return true
+		}
+	}
+	return false
+}
+
+// isTerminalCall reports calls that never return: panic, os.Exit,
+// (*testing.T).Fatal, log.Fatalf, runtime.Goexit, ...
+func isTerminalCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		return fatalish[name] || strings.HasPrefix(name, "Fatal")
+	}
+	return false
+}
+
+// --- atomic/plain mixing ------------------------------------------------
+
+// checkAtomicMixing flags fields that are sometimes accessed through
+// sync/atomic (&x.f passed to an atomic function) and sometimes
+// accessed plainly in the same package.
+func (c *checker) checkAtomicMixing() {
+	atomicFields := make(map[*types.Var]bool)
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+
+	for _, f := range c.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !c.isAtomicCall(call) {
+				return true
+			}
+			for _, a := range call.Args {
+				un, ok := a.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if field := c.fieldOfSelector(sel); field != nil {
+					atomicFields[field] = true
+					sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+	for _, f := range c.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			field := c.fieldOfSelector(sel)
+			if field == nil || !atomicFields[field] {
+				return true
+			}
+			c.pass.Reportf(sel.Sel.Pos(), "field %q mixes sync/atomic and plain access; use atomic operations consistently", field.Name())
+			return true
+		})
+	}
+}
+
+func (c *checker) isAtomicCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := c.pass.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pkg.Imported().Path() == "sync/atomic"
+}
+
+func (c *checker) fieldOfSelector(sel *ast.SelectorExpr) *types.Var {
+	selInfo, ok := c.pass.TypesInfo.Selections[sel]
+	if !ok || selInfo.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := selInfo.Obj().(*types.Var)
+	return v
+}

@@ -1,0 +1,12 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"github.com/snapml/snap/internal/analysis/analysistest"
+	"github.com/snapml/snap/internal/analysis/lockguard"
+)
+
+func TestLockguard(t *testing.T) {
+	analysistest.Run(t, "testdata", lockguard.Analyzer, "a")
+}

@@ -1,0 +1,187 @@
+// Package a exercises the lockguard analyzer: guarded-field access
+// under sibling and cross-struct mutexes, flow-sensitive early-return
+// and select patterns, constructor and caller-holds exemptions, and
+// sync/atomic mixing.
+package a
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+type box struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+
+	free int // unguarded: never flagged
+}
+
+func lockedAccess(b *box) {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+func deferredUnlock(b *box) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+func unlockedRead(b *box) int {
+	return b.n // want `access to "n" \(guarded by "mu"\) without holding the mutex`
+}
+
+func unlockedWrite(b *box) {
+	b.free = 1
+	b.n = 2 // want `access to "n"`
+}
+
+func afterUnlock(b *box) {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	b.n++ // want `access to "n"`
+}
+
+func earlyReturn(b *box, stop bool) {
+	b.mu.Lock()
+	if stop {
+		b.mu.Unlock()
+		return
+	}
+	b.n++ // lock still held on this path
+	b.mu.Unlock()
+}
+
+func conditionalLock(b *box, lock bool) {
+	if lock {
+		b.mu.Lock()
+	}
+	b.n++ // want `access to "n"`
+	if lock {
+		b.mu.Unlock()
+	}
+}
+
+// bump is a locked-section helper. Caller holds b.mu.
+func bump(b *box, delta int) {
+	b.n += delta
+}
+
+func newBox() *box {
+	b := &box{}
+	b.n = 1 // freshly constructed, not yet shared
+	return b
+}
+
+func zeroValue() box {
+	var b box
+	b.n = 3 // freshly constructed
+	return b
+}
+
+func spawn(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go func() {
+		b.n++ // want `access to "n"`
+	}()
+	b.n++ // the spawning goroutine still holds the lock
+}
+
+func closureUnderLock(b *box, xs []int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	sort.Slice(xs, func(i, j int) bool {
+		return xs[i] < xs[j] && b.n > 0 // closures inherit the held set
+	})
+}
+
+func loopBalanced(b *box) {
+	for i := 0; i < 3; i++ {
+		b.mu.Lock()
+		b.n++
+		b.mu.Unlock()
+	}
+	b.free++
+}
+
+type rwbox struct {
+	mu sync.RWMutex
+	v  int // guarded by mu
+}
+
+func (r *rwbox) get() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.v
+}
+
+func (r *rwbox) bad() int {
+	return r.v // want `access to "v"`
+}
+
+// peer mirrors the transport's closed-check pattern: a select that
+// unlocks and returns on one arm must leave the fallthrough arm held.
+type peer struct {
+	mu     sync.Mutex
+	closed chan struct{}
+	conns  map[int]int // guarded by mu
+}
+
+func (p *peer) add(id int) bool {
+	p.mu.Lock()
+	select {
+	case <-p.closed:
+		p.mu.Unlock()
+		return false
+	default:
+	}
+	p.conns[id] = id
+	p.mu.Unlock()
+	return true
+}
+
+// registry/entry exercise the cross-struct Type.mu guard form.
+type registry struct {
+	mu      sync.Mutex
+	members map[int]*entry // guarded by mu
+}
+
+type entry struct {
+	round int // guarded by registry.mu
+}
+
+func (r *registry) roundOf(id int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.members[id].round
+}
+
+func sneaky(e *entry) int {
+	return e.round // want `access to "round" \(guarded by "mu"\)`
+}
+
+type broken struct {
+	// guarded by nosuch
+	x int // want "annotation does not name a sync.Mutex"
+}
+
+// stats exercises the atomic-mixing rule.
+type stats struct {
+	hits int64
+	cold int64
+}
+
+func (s *stats) inc()        { atomic.AddInt64(&s.hits, 1) }
+func (s *stats) load() int64 { return atomic.LoadInt64(&s.hits) }
+
+func (s *stats) raced() int64 {
+	return s.hits // want `field "hits" mixes sync/atomic and plain access`
+}
+
+func (s *stats) plainOnly() int64 {
+	return s.cold // never touched atomically: fine
+}

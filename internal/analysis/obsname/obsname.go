@@ -1,0 +1,191 @@
+// Package obsname keeps the observability namespace closed: every
+// metric or event name that reaches the internal/obs registry must be
+// a named constant (the ones declared in internal/obs/names.go and
+// events.go), never an inline string literal. Dashboards, the round
+// event log, and the paper-facing experiment tooling all join on these
+// strings; a typo'd inline literal silently forks a series.
+//
+// Checked call sites (skipped in _test.go files, where fixture names
+// are fine):
+//
+//   - Registry/Observer Counter, Gauge, Histogram — first argument;
+//   - Observer/EventLog Emit — the event-type argument;
+//   - obs.Label — the name and every label key (values are dynamic).
+//
+// When analyzing the obs package itself, the analyzer additionally
+// verifies that no two exported name constants share a value.
+package obsname
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"github.com/snapml/snap/internal/analysis/lint"
+)
+
+// Analyzer is the obsname analysis.
+var Analyzer = &lint.Analyzer{
+	Name: "obsname",
+	Doc:  "check that metric/event names passed to internal/obs are named constants, and that declared names are unique",
+	Run:  run,
+}
+
+// obsPathSuffix identifies the observability package; matching by
+// suffix keeps the analyzer working on testdata copies of the API.
+const obsPathSuffix = "internal/obs"
+
+func run(pass *lint.Pass) (any, error) {
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkCall(pass, call)
+			return true
+		})
+	}
+	if isObsPkg(pass.Pkg.Path()) {
+		checkUniqueNames(pass)
+	}
+	return nil, nil
+}
+
+func isObsPkg(path string) bool {
+	return strings.HasSuffix(path, obsPathSuffix)
+}
+
+func checkCall(pass *lint.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+
+	// obs.Label(name, k1, v1, k2, v2, ...)
+	if id, ok := sel.X.(*ast.Ident); ok && sel.Sel.Name == "Label" {
+		if pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok && isObsPkg(pkg.Imported().Path()) {
+			if len(call.Args) > 0 {
+				checkNameArg(pass, call.Args[0], "metric name")
+			}
+			for i := 1; i < len(call.Args); i += 2 {
+				checkNameArg(pass, call.Args[i], "label key")
+			}
+			return
+		}
+	}
+
+	recv := receiverNamed(pass, sel.X)
+	if recv == nil || !isObsPkg(recv.Obj().Pkg().Path()) {
+		return
+	}
+	switch recv.Obj().Name() {
+	case "Registry", "Observer":
+		switch sel.Sel.Name {
+		case "Counter", "Gauge", "Histogram":
+			if len(call.Args) > 0 {
+				checkNameArg(pass, call.Args[0], "metric name")
+			}
+		}
+	}
+	if sel.Sel.Name == "Emit" {
+		switch recv.Obj().Name() {
+		case "Observer", "EventLog":
+			// Emit(node, typ, round, peer, fields)
+			if len(call.Args) > 1 {
+				checkNameArg(pass, call.Args[1], "event type")
+			}
+		}
+	}
+}
+
+// receiverNamed resolves the receiver expression to its named type
+// (through pointers), or nil.
+func receiverNamed(pass *lint.Pass, x ast.Expr) *types.Named {
+	t := pass.TypesInfo.Types[x].Type
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return nil
+	}
+	return named
+}
+
+// checkNameArg rejects inline string literals anywhere in the
+// argument. Named constants (obs.MRound) and dynamic values
+// (variables, function results) pass; nested calls such as obs.Label
+// are checked at their own site.
+func checkNameArg(pass *lint.Pass, arg ast.Expr, what string) {
+	if _, ok := arg.(*ast.CallExpr); ok {
+		return
+	}
+	ast.Inspect(arg, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			return false
+		}
+		lit, ok := n.(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		pass.Reportf(lit.Pos(), "%s %s is an inline string literal; use a named constant from internal/obs/names.go", what, lit.Value)
+		return true
+	})
+}
+
+// checkUniqueNames verifies that the obs package's exported string
+// constants (the metric and event name space) have pairwise distinct
+// values.
+func checkUniqueNames(pass *lint.Pass) {
+	type decl struct {
+		name string
+		pos  token.Pos
+	}
+	seen := make(map[string]decl)
+	scope := pass.Pkg.Scope()
+	// Scope iteration order is unspecified; walk declarations in file
+	// order instead so the "first" declaration is stable.
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, id := range vs.Names {
+					obj, ok := scope.Lookup(id.Name).(*types.Const)
+					if !ok || !id.IsExported() {
+						continue
+					}
+					b, ok := obj.Type().Underlying().(*types.Basic)
+					if !ok || b.Info()&types.IsString == 0 {
+						continue
+					}
+					val, err := strconv.Unquote(obj.Val().ExactString())
+					if err != nil {
+						continue
+					}
+					if prev, dup := seen[val]; dup {
+						pass.Reportf(id.Pos(), "constant %s duplicates the name %q already declared by %s", id.Name, val, prev.name)
+						continue
+					}
+					seen[val] = decl{id.Name, id.Pos()}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package obsname_test
+
+import (
+	"testing"
+
+	"github.com/snapml/snap/internal/analysis/analysistest"
+	"github.com/snapml/snap/internal/analysis/obsname"
+)
+
+func TestObsname(t *testing.T) {
+	analysistest.Run(t, "testdata", obsname.Analyzer, "a", "internal/obs")
+}

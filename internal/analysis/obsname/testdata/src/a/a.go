@@ -1,0 +1,29 @@
+// Package a exercises the obsname analyzer's call-site rules against
+// the real internal/obs API.
+package a
+
+import "github.com/snapml/snap/internal/obs"
+
+func dynamicName() string { return "dyn" }
+
+func good(r *obs.Registry, o *obs.Observer, l *obs.EventLog) {
+	r.Counter(obs.MFullSends).Add(1)
+	o.Gauge(obs.MEpoch).Set(1)
+	o.Histogram(obs.MRoundSeconds, obs.TimeBuckets).Observe(0.1)
+	o.Emit(1, obs.EvRoundStart, 0, -1, nil)
+	l.Emit(1, obs.EvRoundEnd, 0, -1, nil)
+	r.Counter(obs.Label(obs.MLinkBytesSent, obs.LPeer, "3")).Add(1)
+
+	name := dynamicName()
+	r.Counter(name).Add(1) // dynamic names are somebody else's problem
+}
+
+func bad(r *obs.Registry, o *obs.Observer, l *obs.EventLog) {
+	r.Counter("snap_inline_total").Add(1)                       // want `metric name "snap_inline_total" is an inline string literal`
+	o.Gauge("snap_gauge").Set(2)                                // want `metric name "snap_gauge" is an inline string literal`
+	o.Histogram("snap_hist", obs.TimeBuckets).Observe(0.5)      // want `metric name "snap_hist" is an inline string literal`
+	o.Emit(1, "round_start", 0, -1, nil)                        // want `event type "round_start" is an inline string literal`
+	l.Emit(1, "round_end", 0, -1, nil)                          // want `event type "round_end" is an inline string literal`
+	_ = obs.Label("snap_x", "peer", "1")                        // want `metric name "snap_x" is an inline string literal` `label key "peer" is an inline string literal`
+	_ = obs.Label(obs.MLinkBytesSent, obs.LPeer, "1", "k", "v") // want `label key "k" is an inline string literal`
+}

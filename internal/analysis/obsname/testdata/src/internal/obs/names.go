@@ -1,0 +1,15 @@
+// Package obs stands in for the real observability package so the
+// uniqueness rule (which only fires on internal/obs itself) can be
+// tested in isolation.
+package obs
+
+const (
+	MRounds   = "snap_rounds_total"
+	MBytes    = "snap_bytes_total"
+	MBytesDup = "snap_bytes_total" // want `constant MBytesDup duplicates the name "snap_bytes_total" already declared by MBytes`
+
+	internalAlias = "snap_rounds_total" // unexported: tooling never joins on it
+)
+
+const EvStart = "start"
+const EvStop = "start" // want `constant EvStop duplicates the name "start" already declared by EvStart`

@@ -1,0 +1,176 @@
+// Package unit implements the `go vet -vettool` driver protocol for
+// snaplint: the build system invokes the tool once per compilation
+// unit with a JSON .cfg file describing sources, the import map, and
+// compiler export data, and expects diagnostics on stderr plus a facts
+// file at VetxOutput. This mirrors x/tools' unitchecker (which the
+// repo cannot vendor offline); snaplint's analyzers carry no
+// cross-package facts, so the facts file is always empty.
+//
+// The protocol, as spoken by cmd/go:
+//
+//	snaplint -V=full      print a version line for build caching
+//	snaplint -flags       print a JSON array describing extra flags
+//	snaplint foo.cfg      analyze one unit, exit 1 on findings
+package unit
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"github.com/snapml/snap/internal/analysis/lint"
+)
+
+// Config is the JSON compilation-unit description written by cmd/go
+// next to each package it vets. Field names are fixed by the protocol.
+type Config struct {
+	ID                        string            `json:"ID"`
+	Compiler                  string            `json:"Compiler"`
+	Dir                       string            `json:"Dir"`
+	ImportPath                string            `json:"ImportPath"`
+	GoVersion                 string            `json:"GoVersion"`
+	GoFiles                   []string          `json:"GoFiles"`
+	NonGoFiles                []string          `json:"NonGoFiles"`
+	IgnoredFiles              []string          `json:"IgnoredFiles"`
+	ImportMap                 map[string]string `json:"ImportMap"`
+	PackageFile               map[string]string `json:"PackageFile"`
+	Standard                  map[string]bool   `json:"Standard"`
+	PackageVetx               map[string]string `json:"PackageVetx"`
+	VetxOnly                  bool              `json:"VetxOnly"`
+	VetxOutput                string            `json:"VetxOutput"`
+	SucceedOnTypecheckFailure bool              `json:"SucceedOnTypecheckFailure"`
+}
+
+// PrintVersion implements -V=full: a line of the shape
+// "<path> version devel ... buildID=<hash>" that changes whenever the
+// binary does, so `go vet` invalidates its cache on tool rebuilds.
+func PrintVersion(w io.Writer) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s version devel snaplint buildID=%x\n", exe, h.Sum(nil))
+	return err
+}
+
+// PrintFlags implements -flags. snaplint takes no analyzer flags, so
+// the set is empty.
+func PrintFlags(w io.Writer) error {
+	_, err := fmt.Fprintln(w, "[]")
+	return err
+}
+
+// Run analyzes the unit described by configFile and returns the
+// diagnostics found (nil in VetxOnly mode). The caller decides the
+// exit code. The VetxOutput facts file is always written, even when
+// empty: cmd/go caches it and feeds it to dependent units.
+func Run(configFile string, analyzers []*lint.Analyzer) ([]string, error) {
+	data, err := os.ReadFile(configFile)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode JSON config file %s: %v", configFile, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return nil, fmt.Errorf("package has no files: %s", cfg.ImportPath)
+	}
+
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, fmt.Errorf("writing facts output: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency-only run: snaplint produces no facts, so there
+		// is nothing to compute.
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil // the compiler will report it
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+
+	tc := &types.Config{Importer: imp, GoVersion: cfg.GoVersion}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, err
+	}
+
+	var out []string
+	for _, a := range analyzers {
+		pass := &lint.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		pass.Report = func(d lint.Diagnostic) {
+			out = append(out, fmt.Sprintf("%s: %s", fset.Position(d.Pos), d.Message))
+		}
+		if _, err := a.Run(pass); err != nil {
+			return out, fmt.Errorf("analyzer %s: %v", a.Name, err)
+		}
+	}
+	return out, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,60 @@
+// Package a exercises the wiretag analyzer: partially tagged structs,
+// snap:wire markers, json call-site detection, duplicate encoded
+// names, and explicit opt-outs.
+package a
+
+import "encoding/json"
+
+// Tagged became a wire struct the moment its first field was tagged;
+// adding an untagged exported field is the drift wiretag exists for.
+type Tagged struct {
+	ID   int    `json:"id"`
+	Name string `json:"name"`
+	Age  int    // want `exported field Age of wire struct Tagged has no json/wire tag`
+	priv int    // unexported: not part of the wire format
+}
+
+// Marked opts in explicitly, as the control-plane payloads do.
+//
+//snap:wire
+type Marked struct {
+	A int `wire:"a"`
+	B int // want `exported field B of wire struct Marked has no json/wire tag`
+}
+
+// Plain is never encoded and carries no tags: not a wire struct.
+type Plain struct {
+	X int
+	Y int
+}
+
+type Dup struct {
+	A int `json:"x"`
+	B int `json:"x"` // want `field B of wire struct Dup encodes to "x", already used by field A`
+}
+
+type Skipped struct {
+	A int `json:"a"`
+	B int `json:"-"` // explicit exclusion is a decision, not an accident
+}
+
+// encoded is untagged and unmarked but passed to json.Marshal below,
+// which makes it a wire struct.
+type encoded struct {
+	V int // want `exported field V of wire struct encoded has no json/wire tag`
+	w int
+}
+
+func marshal() ([]byte, error) {
+	return json.Marshal(encoded{})
+}
+
+// decoded is reached through a *json.Decoder method.
+type decoded struct {
+	R int // want `exported field R of wire struct decoded has no json/wire tag`
+}
+
+func decode(dec *json.Decoder) error {
+	var d decoded
+	return dec.Decode(&d)
+}

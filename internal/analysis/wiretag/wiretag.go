@@ -1,0 +1,247 @@
+// Package wiretag guards the repo's wire formats against silent schema
+// drift. A struct is a wire struct when any of the following holds:
+//
+//   - its doc comment contains the marker "snap:wire" (the opt-in used
+//     by the control-plane payloads and codec frame types);
+//   - at least one of its fields already carries a `json:` or `wire:`
+//     struct tag (a partially tagged struct is a schema accident
+//     waiting to happen);
+//   - a value of the type is passed to encoding/json Marshal/Unmarshal
+//     or an Encoder/Decoder in the same package.
+//
+// Every exported field of a wire struct must carry an explicit `json:`
+// or `wire:` tag (`json:"-"` is an explicit decision and accepted), and
+// no two fields may encode to the same name. An exported field added
+// without a tag — the mistake that changes the epoch wire format
+// without anyone noticing — is reported.
+package wiretag
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strings"
+
+	"github.com/snapml/snap/internal/analysis/lint"
+)
+
+// Analyzer is the wiretag analysis.
+var Analyzer = &lint.Analyzer{
+	Name: "wiretag",
+	Doc:  "check that every exported field of a wire struct (snap:wire marker, tagged sibling, or json-encoded) has an explicit json/wire tag",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) (any, error) {
+	c := &checker{pass: pass, checked: make(map[*ast.StructType]bool)}
+
+	// Structs json-encoded somewhere in this package are wire structs
+	// even without tags or markers.
+	jsonUsed := c.jsonEncodedStructs()
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gd, ok := n.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				marked := hasWireMarker(gd.Doc) || hasWireMarker(ts.Doc) || hasWireMarker(ts.Comment)
+				obj := pass.TypesInfo.Defs[ts.Name]
+				if !marked && obj != nil {
+					if named, ok := obj.Type().(*types.Named); ok && jsonUsed[named] {
+						marked = true
+					}
+				}
+				c.checkStruct(ts.Name.Name, st, marked)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass    *lint.Pass
+	checked map[*ast.StructType]bool
+}
+
+func hasWireMarker(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.Contains(c.Text, "snap:wire") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkStruct enforces the tagging rule. When marked is false the
+// struct is still a wire struct if any field already carries an
+// encoding tag.
+func (c *checker) checkStruct(name string, st *ast.StructType, marked bool) {
+	if c.checked[st] {
+		return
+	}
+	wire := marked
+	if !wire {
+		for _, field := range st.Fields.List {
+			if _, ok := encodingTag(field); ok {
+				wire = true
+				break
+			}
+		}
+	}
+	if !wire {
+		return
+	}
+	c.checked[st] = true
+
+	names := make(map[string]string) // encoded name -> field
+	for _, field := range st.Fields.List {
+		fieldNames := field.Names
+		if len(fieldNames) == 0 {
+			// Embedded field: its exported name is the type name.
+			if id := embeddedName(field.Type); id != nil {
+				fieldNames = []*ast.Ident{id}
+			}
+		}
+		tag, hasTag := encodingTag(field)
+		for _, id := range fieldNames {
+			if !id.IsExported() {
+				continue
+			}
+			if !hasTag {
+				c.pass.Reportf(id.Pos(), "exported field %s of wire struct %s has no json/wire tag; unencoded fields change the wire format silently", id.Name, name)
+				continue
+			}
+			enc := tagName(tag)
+			if enc == "-" || enc == "" {
+				continue
+			}
+			if prev, dup := names[enc]; dup {
+				c.pass.Reportf(id.Pos(), "field %s of wire struct %s encodes to %q, already used by field %s", id.Name, name, enc, prev)
+				continue
+			}
+			names[enc] = id.Name
+		}
+	}
+}
+
+// encodingTag returns the json or wire tag value of a field.
+func encodingTag(field *ast.Field) (string, bool) {
+	if field.Tag == nil {
+		return "", false
+	}
+	raw := strings.Trim(field.Tag.Value, "`")
+	tag := reflect.StructTag(raw)
+	if v, ok := tag.Lookup("json"); ok {
+		return v, true
+	}
+	if v, ok := tag.Lookup("wire"); ok {
+		return v, true
+	}
+	return "", false
+}
+
+func tagName(tag string) string {
+	if i := strings.IndexByte(tag, ','); i >= 0 {
+		tag = tag[:i]
+	}
+	return tag
+}
+
+func embeddedName(t ast.Expr) *ast.Ident {
+	switch t := t.(type) {
+	case *ast.Ident:
+		return t
+	case *ast.StarExpr:
+		return embeddedName(t.X)
+	case *ast.SelectorExpr:
+		return t.Sel
+	}
+	return nil
+}
+
+// jsonEncodedStructs finds named struct types of this package that are
+// passed to encoding/json calls (Marshal, Unmarshal, Encoder.Encode,
+// Decoder.Decode).
+func (c *checker) jsonEncodedStructs() map[*types.Named]bool {
+	out := make(map[*types.Named]bool)
+	for _, f := range c.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !c.isJSONCodecCall(call) {
+				return true
+			}
+			for _, a := range call.Args {
+				t := c.pass.TypesInfo.Types[a].Type
+				if t == nil {
+					continue
+				}
+				for {
+					if p, ok := t.(*types.Pointer); ok {
+						t = p.Elem()
+						continue
+					}
+					if s, ok := t.Underlying().(*types.Slice); ok {
+						t = s.Elem()
+						continue
+					}
+					break
+				}
+				named, ok := t.(*types.Named)
+				if !ok || named.Obj().Pkg() != c.pass.Pkg {
+					continue
+				}
+				if _, ok := named.Underlying().(*types.Struct); ok {
+					out[named] = true
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func (c *checker) isJSONCodecCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Marshal", "MarshalIndent", "Unmarshal", "Encode", "Decode":
+	default:
+		return false
+	}
+	// Package function: json.Marshal / json.Unmarshal.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pkg, ok := c.pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+			return pkg.Imported().Path() == "encoding/json"
+		}
+	}
+	// Method: (*json.Encoder).Encode / (*json.Decoder).Decode.
+	t := c.pass.TypesInfo.Types[sel.X].Type
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "encoding/json" &&
+		(named.Obj().Name() == "Encoder" || named.Obj().Name() == "Decoder")
+}

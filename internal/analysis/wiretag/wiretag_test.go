@@ -1,0 +1,12 @@
+package wiretag_test
+
+import (
+	"testing"
+
+	"github.com/snapml/snap/internal/analysis/analysistest"
+	"github.com/snapml/snap/internal/analysis/wiretag"
+)
+
+func TestWiretag(t *testing.T) {
+	analysistest.Run(t, "testdata", wiretag.Analyzer, "a")
+}

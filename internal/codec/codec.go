@@ -61,12 +61,14 @@ func (f Format) String() string {
 const HeaderBytes = 13
 
 // Update is one node's selective parameter transmission for a round.
+//
+//snap:wire
 type Update struct {
-	Sender    int
-	Round     int
-	NumParams int       // N: total parameters in the model
-	Indices   []int     // strictly increasing indices of updated parameters
-	Values    []float64 // Values[i] is the new value of parameter Indices[i]
+	Sender    int       `wire:"sender"`
+	Round     int       `wire:"round"`
+	NumParams int       `wire:"num_params"` // N: total parameters in the model
+	Indices   []int     `wire:"indices"`    // strictly increasing indices of updated parameters
+	Values    []float64 `wire:"values"`     // Values[i] is the new value of parameter Indices[i]
 }
 
 // Validate checks structural invariants: matching lengths, indices sorted,

@@ -49,7 +49,7 @@ type Client struct {
 	id      int
 
 	mu     sync.Mutex
-	latest *Epoch
+	latest *Epoch // guarded by mu
 
 	round        atomic.Int64 // latest round reported by the node
 	appliedEpoch atomic.Int64 // highest epoch id the node has applied

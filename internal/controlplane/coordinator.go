@@ -67,13 +67,16 @@ func (cfg CoordinatorConfig) withDefaults() CoordinatorConfig {
 
 // member is the coordinator's book-keeping for one admitted node.
 type member struct {
-	id       int
-	addr     string
-	conn     net.Conn
-	writeMu  sync.Mutex
-	round    int
-	epoch    int
-	lastBeat time.Time
+	id      int
+	addr    string
+	conn    net.Conn
+	writeMu sync.Mutex
+
+	// Progress bookkeeping, written by connection goroutines and read
+	// by the eviction sweep and epoch planner.
+	round    int       // guarded by Coordinator.mu
+	epoch    int       // guarded by Coordinator.mu
+	lastBeat time.Time // guarded by Coordinator.mu
 }
 
 func (m *member) push(typ msgType, payload any, timeout time.Duration) error {
@@ -98,15 +101,16 @@ type Coordinator struct {
 	ln  net.Listener
 
 	mu      sync.Mutex
-	members map[int]*member
-	order   []int // member ids sorted ascending; order[v] is topology vertex v
-	topo    *graph.Graph
-	nextID  int
-	epoch   *Epoch // latest published epoch (nil before the first)
-	started bool   // the first epoch has been published
+	members map[int]*member // guarded by mu
+	order   []int           // guarded by mu; member ids sorted ascending; order[v] is topology vertex v
+	topo    *graph.Graph    // guarded by mu
+	nextID  int             // guarded by mu
+	epoch   *Epoch          // guarded by mu; latest published epoch (nil before the first)
+	started bool            // guarded by mu; the first epoch has been published
 
 	closed    chan struct{}
 	closeOnce sync.Once
+	closeErr  error // set once inside closeOnce.Do, read after it
 	wg        sync.WaitGroup
 
 	met coordMetrics
@@ -181,14 +185,16 @@ func (c *Coordinator) Close() error {
 	c.closeOnce.Do(func() {
 		c.mu.Lock()
 		close(c.closed)
-		c.ln.Close()
+		// Member connections may already be gone (eviction, crashes);
+		// only the listener close error is worth surfacing.
+		c.closeErr = c.ln.Close()
 		for _, m := range c.members {
 			m.conn.Close()
 		}
 		c.mu.Unlock()
 	})
 	c.wg.Wait()
-	return nil
+	return c.closeErr
 }
 
 func (c *Coordinator) logf(format string, args ...any) {

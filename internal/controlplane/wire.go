@@ -76,12 +76,14 @@ func (t msgType) String() string {
 	}
 }
 
+//snap:wire
 type joinReq struct {
 	// Addr is the node's data-plane listen address, as reachable by the
 	// other members.
 	Addr string `json:"addr"`
 }
 
+//snap:wire
 type joinResp struct {
 	// ID is the node id the coordinator assigned. Ids are monotonic and
 	// never reused, so a node that dies and rejoins gets a fresh identity
@@ -89,14 +91,17 @@ type joinResp struct {
 	ID int `json:"id"`
 }
 
+//snap:wire
 type leaveReq struct {
 	ID int `json:"id"`
 }
 
+//snap:wire
 type rejectResp struct {
 	Reason string `json:"reason"`
 }
 
+//snap:wire
 type heartbeat struct {
 	ID int `json:"id"`
 	// Round is the node's current training round; the coordinator uses the
@@ -107,6 +112,8 @@ type heartbeat struct {
 }
 
 // EpochMember is one cluster member as described by an epoch.
+//
+//snap:wire
 type EpochMember struct {
 	// ID is the member's permanent node id.
 	ID int `json:"id"`
@@ -122,6 +129,8 @@ type EpochMember struct {
 // Epoch is one versioned cluster configuration: the authoritative member
 // list, topology, and per-node weight rows. Nodes apply an epoch at the
 // boundary of round ApplyAtRound (immediately, if already past it).
+//
+//snap:wire
 type Epoch struct {
 	// ID is the epoch number, starting at 1 and strictly increasing.
 	ID int `json:"id"`
@@ -181,6 +190,9 @@ func (e *Epoch) PlanFor(id int) (*Plan, error) {
 	maxID := 0
 	addrByID := make(map[int]string, len(e.Members))
 	for _, m := range e.Members {
+		if m.ID < 0 {
+			return nil, fmt.Errorf("controlplane: epoch %d lists negative member id %d", e.ID, m.ID)
+		}
 		if m.ID > maxID {
 			maxID = m.ID
 		}
@@ -208,9 +220,10 @@ func (e *Epoch) PlanFor(id int) (*Plan, error) {
 	}, nil
 }
 
-// writeFrame serializes payload as JSON and writes one [len][type][json]
-// control frame. Safe for concurrent use only with external locking.
-func writeFrame(conn net.Conn, typ msgType, payload any, timeout time.Duration) error {
+// writeFrameTo serializes payload as JSON and writes one
+// [len][type][json] control frame to w. Safe for concurrent use only
+// with external locking.
+func writeFrameTo(w io.Writer, typ msgType, payload any) error {
 	body, err := json.Marshal(payload)
 	if err != nil {
 		return fmt.Errorf("controlplane: marshal %v: %w", typ, err)
@@ -218,28 +231,30 @@ func writeFrame(conn net.Conn, typ msgType, payload any, timeout time.Duration) 
 	var header [8]byte
 	binary.BigEndian.PutUint32(header[:4], uint32(len(body)))
 	binary.BigEndian.PutUint32(header[4:8], uint32(typ))
-	if timeout > 0 {
-		conn.SetWriteDeadline(time.Now().Add(timeout))
-		defer conn.SetWriteDeadline(time.Time{})
-	}
-	if _, err := conn.Write(header[:]); err != nil {
+	if _, err := w.Write(header[:]); err != nil {
 		return fmt.Errorf("controlplane: write %v header: %w", typ, err)
 	}
-	if _, err := conn.Write(body); err != nil {
+	if _, err := w.Write(body); err != nil {
 		return fmt.Errorf("controlplane: write %v body: %w", typ, err)
 	}
 	return nil
 }
 
-// readFrame reads one control frame, returning its type and raw JSON
-// payload.
-func readFrame(conn net.Conn, timeout time.Duration) (msgType, []byte, error) {
+// writeFrame is writeFrameTo over a connection with a write deadline.
+func writeFrame(conn net.Conn, typ msgType, payload any, timeout time.Duration) error {
 	if timeout > 0 {
-		conn.SetReadDeadline(time.Now().Add(timeout))
-		defer conn.SetReadDeadline(time.Time{})
+		conn.SetWriteDeadline(time.Now().Add(timeout))
+		defer conn.SetWriteDeadline(time.Time{})
 	}
+	return writeFrameTo(conn, typ, payload)
+}
+
+// readFrameFrom reads one control frame from r, returning its type and
+// raw JSON payload. Malformed input yields an error, never a panic —
+// the coordinator feeds this bytes from arbitrary remote peers.
+func readFrameFrom(r io.Reader) (msgType, []byte, error) {
 	var header [8]byte
-	if _, err := io.ReadFull(conn, header[:]); err != nil {
+	if _, err := io.ReadFull(r, header[:]); err != nil {
 		return 0, nil, err
 	}
 	size := binary.BigEndian.Uint32(header[:4])
@@ -248,8 +263,17 @@ func readFrame(conn net.Conn, timeout time.Duration) (msgType, []byte, error) {
 		return 0, nil, fmt.Errorf("controlplane: %v frame of %d bytes exceeds limit", typ, size)
 	}
 	body := make([]byte, size)
-	if _, err := io.ReadFull(conn, body); err != nil {
+	if _, err := io.ReadFull(r, body); err != nil {
 		return 0, nil, err
 	}
 	return typ, body, nil
+}
+
+// readFrame is readFrameFrom over a connection with a read deadline.
+func readFrame(conn net.Conn, timeout time.Duration) (msgType, []byte, error) {
+	if timeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(timeout))
+		defer conn.SetReadDeadline(time.Time{})
+	}
+	return readFrameFrom(conn)
 }

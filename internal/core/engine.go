@@ -148,16 +148,16 @@ type engineMetrics struct {
 func newEngineMetrics(o *obs.Observer, nodeID int) engineMetrics {
 	node := strconv.Itoa(nodeID)
 	return engineMetrics{
-		compute:        o.Histogram(obs.Label(obs.MComputeSeconds, "node", node), obs.TimeBuckets),
-		paramsSent:     o.Counter(obs.Label(obs.MParamsSent, "node", node)),
-		paramsWithheld: o.Counter(obs.Label(obs.MParamsWithheld, "node", node)),
-		fullSends:      o.Counter(obs.Label(obs.MFullSends, "node", node)),
-		restarts:       o.Counter(obs.Label(obs.MExtraRestarts, "node", node)),
-		roundSelected:  o.Gauge(obs.Label(obs.MRoundSelected, "node", node)),
-		modelParams:    o.Gauge(obs.Label(obs.MModelParams, "node", node)),
-		apeStage:       o.Gauge(obs.Label(obs.MAPEStage, "node", node)),
-		apeThreshold:   o.Gauge(obs.Label(obs.MAPEThreshold, "node", node)),
-		apeSendThresh:  o.Gauge(obs.Label(obs.MAPESendThreshold, "node", node)),
+		compute:        o.Histogram(obs.Label(obs.MComputeSeconds, obs.LNode, node), obs.TimeBuckets),
+		paramsSent:     o.Counter(obs.Label(obs.MParamsSent, obs.LNode, node)),
+		paramsWithheld: o.Counter(obs.Label(obs.MParamsWithheld, obs.LNode, node)),
+		fullSends:      o.Counter(obs.Label(obs.MFullSends, obs.LNode, node)),
+		restarts:       o.Counter(obs.Label(obs.MExtraRestarts, obs.LNode, node)),
+		roundSelected:  o.Gauge(obs.Label(obs.MRoundSelected, obs.LNode, node)),
+		modelParams:    o.Gauge(obs.Label(obs.MModelParams, obs.LNode, node)),
+		apeStage:       o.Gauge(obs.Label(obs.MAPEStage, obs.LNode, node)),
+		apeThreshold:   o.Gauge(obs.Label(obs.MAPEThreshold, obs.LNode, node)),
+		apeSendThresh:  o.Gauge(obs.Label(obs.MAPESendThreshold, obs.LNode, node)),
 	}
 }
 

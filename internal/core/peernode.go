@@ -82,7 +82,9 @@ type PeerNode struct {
 	peer   *transport.Peer
 
 	// epoch is the id of the last applied cluster epoch (elastic mode).
-	epoch int
+	// Written by the round loop in maybeReconfigure and read by Epoch()
+	// from any goroutine, so it is atomic.
+	epoch atomic.Int64
 
 	// needRefresh is set by the transport's reconnect callback and
 	// consumed at the top of the next round: the node sends its full
@@ -110,7 +112,7 @@ type roundMetrics struct {
 
 func newRoundMetrics(o *obs.Observer) roundMetrics {
 	phase := func(name string) *obs.Histogram {
-		return o.Histogram(obs.Label(obs.MPhaseSeconds, "phase", name), obs.TimeBuckets)
+		return o.Histogram(obs.Label(obs.MPhaseSeconds, obs.LPhase, name), obs.TimeBuckets)
 	}
 	return roundMetrics{
 		build:        phase("build"),
@@ -159,7 +161,8 @@ func NewPeerNode(cfg PeerNodeConfig) (*PeerNode, error) {
 	if cfg.Obs != nil {
 		peer.SetObserver(cfg.Obs)
 	}
-	pn := &PeerNode{cfg: cfg, engine: eng, peer: peer, epoch: cfg.Epoch, met: newRoundMetrics(cfg.Obs)}
+	pn := &PeerNode{cfg: cfg, engine: eng, peer: peer, met: newRoundMetrics(cfg.Obs)}
+	pn.epoch.Store(int64(cfg.Epoch))
 	pn.met.epoch.Set(float64(cfg.Epoch))
 	peer.SetReconnectHandler(func(nid int) {
 		pn.needRefresh.Store(true)
@@ -344,7 +347,7 @@ func (pn *PeerNode) Run(rounds int) (*metrics.Trace, error) {
 
 // Epoch returns the id of the cluster epoch this node last applied (its
 // initial epoch until a reconfiguration happens).
-func (pn *PeerNode) Epoch() int { return pn.epoch }
+func (pn *PeerNode) Epoch() int { return int(pn.epoch.Load()) }
 
 // maybeReconfigure applies the newest coordinator epoch if the node has
 // reached its ApplyAtRound boundary: removed links are dropped, added
@@ -355,7 +358,7 @@ func (pn *PeerNode) maybeReconfigure(round int) error {
 	if pn.cfg.Control == nil {
 		return nil
 	}
-	plan, err := pn.cfg.Control.PlanNewerThan(pn.epoch)
+	plan, err := pn.cfg.Control.PlanNewerThan(int(pn.epoch.Load()))
 	if err != nil {
 		// The newest epoch excludes this node (evicted after a control-
 		// plane outage) or is malformed. Keep training on the current
@@ -399,7 +402,7 @@ func (pn *PeerNode) maybeReconfigure(round int) error {
 	if err := pn.engine.Reconfigure(plan.WRow, plan.Neighbors); err != nil {
 		return err
 	}
-	pn.epoch = plan.Epoch
+	pn.epoch.Store(int64(plan.Epoch))
 	pn.cfg.Control.ReportEpoch(plan.Epoch)
 	sec := time.Since(start).Seconds()
 	pn.met.epoch.Set(float64(plan.Epoch))
@@ -426,10 +429,16 @@ func (pn *PeerNode) Leave(timeout time.Duration) error {
 	return pn.cfg.Control.Leave(timeout)
 }
 
-// Close shuts down the control-plane client (if any) and the transport.
+// Close shuts down the control-plane client (if any) and the transport,
+// returning the first error from either.
 func (pn *PeerNode) Close() error {
+	var cerr error
 	if pn.cfg.Control != nil {
-		pn.cfg.Control.Close()
+		cerr = pn.cfg.Control.Close()
 	}
-	return pn.peer.Close()
+	perr := pn.peer.Close()
+	if cerr != nil {
+		return cerr
+	}
+	return perr
 }

@@ -1,0 +1,12 @@
+package linalg
+
+import "math"
+
+// closeTo reports a relative-tolerance float comparison for test
+// expectations. Exact ==/!= on computed floats is rejected by the
+// floatdet analyzer: results legitimately differ in the last ulps
+// across evaluation orders, FMA contraction, and architectures.
+func closeTo(got, want float64) bool {
+	const tol = 1e-12
+	return math.Abs(got-want) <= tol*math.Max(1, math.Abs(want))
+}

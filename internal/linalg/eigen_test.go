@@ -112,7 +112,7 @@ func TestSymEigenSorted(t *testing.T) {
 			t.Fatalf("eigenvalues not ascending: %v", eig.Values)
 		}
 	}
-	if eig.Min() != eig.Values[0] || eig.Max() != eig.Values[len(eig.Values)-1] {
+	if !closeTo(eig.Min(), eig.Values[0]) || !closeTo(eig.Max(), eig.Values[len(eig.Values)-1]) {
 		t.Error("Min/Max disagree with sorted Values")
 	}
 }

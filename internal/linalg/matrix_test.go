@@ -15,7 +15,7 @@ func TestIdentity(t *testing.T) {
 			if i == j {
 				want = 1
 			}
-			if m.At(i, j) != want {
+			if !closeTo(m.At(i, j), want) {
 				t.Errorf("I(3)[%d][%d] = %v, want %v", i, j, m.At(i, j), want)
 			}
 		}
@@ -76,7 +76,7 @@ func TestMatrixTranspose(t *testing.T) {
 
 func TestMatrixTrace(t *testing.T) {
 	a := MatrixFromRows([][]float64{{1, 9}, {9, 2}})
-	if got := a.Trace(); got != 3 {
+	if got := a.Trace(); !closeTo(got, 3) {
 		t.Errorf("Trace = %v, want 3", got)
 	}
 }

@@ -106,7 +106,7 @@ func TestStochasticExtremesSingleNode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if lam2 != 0 || lamMin != 1 {
+	if lam2 != 0 || !closeTo(lamMin, 1) {
 		t.Errorf("n=1 extremes = (%v, %v), want (0, 1)", lam2, lamMin)
 	}
 }

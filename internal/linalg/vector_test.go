@@ -29,23 +29,23 @@ func TestVectorScale(t *testing.T) {
 
 func TestVectorDotNorm(t *testing.T) {
 	v := Vector{3, 4}
-	if got := v.Dot(v); got != 25 {
+	if got := v.Dot(v); !closeTo(got, 25) {
 		t.Errorf("Dot = %v, want 25", got)
 	}
-	if got := v.Norm2(); got != 5 {
+	if got := v.Norm2(); !closeTo(got, 5) {
 		t.Errorf("Norm2 = %v, want 5", got)
 	}
-	if got := v.NormInf(); got != 4 {
+	if got := v.NormInf(); !closeTo(got, 4) {
 		t.Errorf("NormInf = %v, want 4", got)
 	}
 }
 
 func TestVectorSumMean(t *testing.T) {
 	v := Vector{1, 2, 3, 4}
-	if got := v.Sum(); got != 10 {
+	if got := v.Sum(); !closeTo(got, 10) {
 		t.Errorf("Sum = %v, want 10", got)
 	}
-	if got := v.Mean(); got != 2.5 {
+	if got := v.Mean(); !closeTo(got, 2.5) {
 		t.Errorf("Mean = %v, want 2.5", got)
 	}
 	var empty Vector
@@ -58,7 +58,7 @@ func TestVectorCloneIndependence(t *testing.T) {
 	v := Vector{1, 2}
 	c := v.Clone()
 	c[0] = 99
-	if v[0] != 1 {
+	if !closeTo(v[0], 1) {
 		t.Errorf("Clone aliases storage: v = %v", v)
 	}
 }

@@ -48,9 +48,9 @@ type Event struct {
 // discards everything.
 type EventLog struct {
 	mu      sync.Mutex
-	w       io.Writer
-	emitted int64
-	errs    int64
+	w       io.Writer // guarded by mu
+	emitted int64     // guarded by mu
+	errs    int64     // guarded by mu
 
 	// now is stubbed in tests for deterministic timestamps.
 	now func() time.Time

@@ -61,3 +61,12 @@ const (
 	MLambdaBarMax     = "snap_w_lambda_bar_max"       // λ̄max(W) of the current epoch's matrix
 	MWeightOptSeconds = "snap_weight_opt_seconds"     // central W re-optimization time
 )
+
+// Label keys used with Label(...). Dashboards and the trace tooling
+// join series on these strings, so call sites must use the constants
+// (the obsname analyzer rejects inline literals).
+const (
+	LPeer  = "peer"  // neighbor id on per-link transport series
+	LNode  = "node"  // node id on engine series (simulator shares one registry)
+	LPhase = "phase" // round phase on MPhaseSeconds
+)

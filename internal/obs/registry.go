@@ -117,10 +117,10 @@ var (
 // programming error, not a runtime condition.
 type Registry struct {
 	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
-	families map[string]string // family -> "counter" | "gauge" | "histogram"
+	counters map[string]*Counter   // guarded by mu
+	gauges   map[string]*Gauge     // guarded by mu
+	hists    map[string]*Histogram // guarded by mu
+	families map[string]string     // guarded by mu; family -> "counter" | "gauge" | "histogram"
 }
 
 // NewRegistry returns an empty registry.
@@ -163,6 +163,8 @@ func family(name string) string {
 	return name
 }
 
+// checkFamily panics when one family is registered under two metric
+// types. Caller holds r.mu.
 func (r *Registry) checkFamily(name, typ string) {
 	f := family(name)
 	if have, ok := r.families[f]; ok && have != typ {

@@ -63,17 +63,17 @@ type Peer struct {
 	listener net.Listener
 
 	mu        sync.Mutex
-	conns     map[int]*peerConn
-	addrs     map[int]string // known neighbor listen addresses (for re-dial)
-	redialing map[int]bool   // a reconnectLoop is running for this neighbor
-	stats     map[int]*LinkStats
-	linkM     map[int]*linkMetrics // per-link metric handles (lazy)
-	downSince map[int]time.Time    // link-down timestamp, for reconnect latency
+	conns     map[int]*peerConn    // guarded by mu
+	addrs     map[int]string       // guarded by mu; known neighbor listen addresses (for re-dial)
+	redialing map[int]bool         // guarded by mu; a reconnectLoop is running for this neighbor
+	stats     map[int]*LinkStats   // guarded by mu
+	linkM     map[int]*linkMetrics // guarded by mu; per-link metric handles (lazy)
+	downSince map[int]time.Time    // guarded by mu; link-down timestamp, for reconnect latency
 
 	// onReconnect, when set (before Connect), is invoked once per link
 	// down→up transition with the neighbor id. Called from a transport
 	// goroutine; implementations must be safe for concurrent use.
-	onReconnect func(nid int)
+	onReconnect func(nid int) // guarded by mu
 
 	// faults, when set, injects deterministic failures into Send.
 	faults *FaultSet
@@ -86,7 +86,7 @@ type Peer struct {
 
 	// pending buffers frames by round until Gather asks for them.
 	pendingMu sync.Mutex
-	pending   map[int]map[int][]byte
+	pending   map[int]map[int][]byte // guarded by pendingMu
 
 	bytesSent atomic.Int64
 	// latestRound tracks the highest round tag seen on any inbound frame:
@@ -95,14 +95,15 @@ type Peer struct {
 	latestRound atomic.Int64
 	closed      chan struct{}
 	closeOnce   sync.Once
+	closeErr    error // set once inside closeOnce.Do, read after it
 	wg          sync.WaitGroup
 
 	// Observability. The handles are always valid: with no observer they
 	// are detached metrics, so hot paths record unconditionally.
-	obs         *obs.Observer
-	gatherWaitH *obs.Histogram
-	reconnLatH  *obs.Histogram
-	gatherShort *obs.Counter
+	obs         *obs.Observer  // guarded by mu
+	gatherWaitH *obs.Histogram // guarded by mu
+	reconnLatH  *obs.Histogram // guarded by mu
+	gatherShort *obs.Counter   // guarded by mu
 }
 
 // linkMetrics caches one neighbor link's counter handles so the per-frame
@@ -155,14 +156,17 @@ func NewPeerFromListener(id int, ln net.Listener) *Peer {
 		pending:    make(map[int]map[int][]byte),
 		closed:     make(chan struct{}),
 	}
+	p.mu.Lock()
 	p.initObsHandles()
+	p.mu.Unlock()
 	p.wg.Add(1)
 	go p.acceptLoop()
 	return p
 }
 
 // initObsHandles (re)binds the link-independent metric handles against the
-// current observer (detached metrics when there is none).
+// current observer (detached metrics when there is none). Caller holds
+// p.mu.
 func (p *Peer) initObsHandles() {
 	p.gatherWaitH = p.obs.Histogram(obs.MGatherWait, obs.TimeBuckets)
 	p.reconnLatH = p.obs.Histogram(obs.MReconnectSeconds, obs.TimeBuckets)
@@ -186,13 +190,13 @@ func (p *Peer) linkMetricsFor(nid int) *linkMetrics {
 	if !ok {
 		peer := strconv.Itoa(nid)
 		lm = &linkMetrics{
-			framesOut:   p.obs.Counter(obs.Label(obs.MLinkFramesSent, "peer", peer)),
-			bytesOut:    p.obs.Counter(obs.Label(obs.MLinkBytesSent, "peer", peer)),
-			framesIn:    p.obs.Counter(obs.Label(obs.MLinkFramesRecv, "peer", peer)),
-			bytesIn:     p.obs.Counter(obs.Label(obs.MLinkBytesRecv, "peer", peer)),
-			connects:    p.obs.Counter(obs.Label(obs.MLinkConnects, "peer", peer)),
-			disconnects: p.obs.Counter(obs.Label(obs.MLinkDisconnects, "peer", peer)),
-			reconnects:  p.obs.Counter(obs.Label(obs.MLinkReconnects, "peer", peer)),
+			framesOut:   p.obs.Counter(obs.Label(obs.MLinkFramesSent, obs.LPeer, peer)),
+			bytesOut:    p.obs.Counter(obs.Label(obs.MLinkBytesSent, obs.LPeer, peer)),
+			framesIn:    p.obs.Counter(obs.Label(obs.MLinkFramesRecv, obs.LPeer, peer)),
+			bytesIn:     p.obs.Counter(obs.Label(obs.MLinkBytesRecv, obs.LPeer, peer)),
+			connects:    p.obs.Counter(obs.Label(obs.MLinkConnects, obs.LPeer, peer)),
+			disconnects: p.obs.Counter(obs.Label(obs.MLinkDisconnects, obs.LPeer, peer)),
+			reconnects:  p.obs.Counter(obs.Label(obs.MLinkReconnects, obs.LPeer, peer)),
 		}
 		p.linkM[nid] = lm
 	}
@@ -804,12 +808,15 @@ func (p *Peer) Close() error {
 	p.closeOnce.Do(func() {
 		p.mu.Lock()
 		close(p.closed)
-		p.listener.Close()
+		// Peer connections are often already dead (that is what the
+		// reconnect machinery is for), so their close errors are noise;
+		// the listener close error is the one worth reporting.
+		p.closeErr = p.listener.Close()
 		for _, pc := range p.conns {
 			pc.conn.Close()
 		}
 		p.mu.Unlock()
 	})
 	p.wg.Wait()
-	return nil
+	return p.closeErr
 }
