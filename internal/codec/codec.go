@@ -127,23 +127,40 @@ func PayloadBytes(n, m int, f Format) int {
 // frame plus the chosen format. The frame is HeaderBytes + PayloadBytes
 // long.
 func Encode(u *Update) ([]byte, Format, error) {
+	return EncodeTo(nil, u)
+}
+
+// EncodeTo is Encode into a caller-owned buffer: the frame is appended
+// to buf[:0] (reusing its capacity; buf may be nil) and returned. The
+// returned slice aliases buf when the capacity sufficed, so the caller
+// owns exactly one buffer — the returned one — and must not reuse it
+// while the frame is still referenced by a transport.
+func EncodeTo(buf []byte, u *Update) ([]byte, Format, error) {
 	if err := u.Validate(); err != nil {
 		return nil, 0, err
 	}
 	f := ChooseFormat(u.NumParams, u.NumWithheld())
-	buf, err := EncodeAs(u, f)
-	return buf, f, err
+	out, err := EncodeAsTo(buf, u, f)
+	return out, f, err
 }
 
 // EncodeAs serializes u using a specific format (used by tests and
 // ablations; Encode picks the cheaper one automatically).
 func EncodeAs(u *Update, f Format) ([]byte, error) {
+	return EncodeAsTo(nil, u, f)
+}
+
+// EncodeAsTo is EncodeAs into a caller-owned buffer (see EncodeTo for
+// the ownership rule).
+func EncodeAsTo(buf []byte, u *Update, f Format) ([]byte, error) {
 	if err := u.Validate(); err != nil {
 		return nil, err
 	}
 	n, m := u.NumParams, u.NumWithheld()
-	buf := make([]byte, 0, HeaderBytes+PayloadBytes(n, m, f))
-	buf = append(buf, byte(f))
+	if need := HeaderBytes + PayloadBytes(n, m, f); cap(buf) < need {
+		buf = make([]byte, 0, need)
+	}
+	buf = append(buf[:0], byte(f))
 	buf = binary.BigEndian.AppendUint32(buf, uint32(u.Sender))
 	buf = binary.BigEndian.AppendUint32(buf, uint32(u.Round))
 	buf = binary.BigEndian.AppendUint32(buf, uint32(n))
@@ -176,75 +193,116 @@ func EncodeAs(u *Update, f Format) ([]byte, error) {
 
 // Decode parses a frame produced by Encode/EncodeAs.
 func Decode(frame []byte) (*Update, error) {
+	u := &Update{}
+	if err := DecodeInto(u, frame); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// DecodeInto is Decode into a caller-owned Update: u's Indices/Values
+// slices are reused via append(s[:0], ...) so a warm Update decodes
+// without allocating. All scalar fields of u are overwritten. The
+// decoded slices never alias frame; the frame may be recycled as soon
+// as DecodeInto returns.
+//
+// DecodeInto is stricter than the wire format strictly requires: the
+// unchanged-index list of formats 1 and 3 must be strictly increasing
+// (which Encode always produces), so the complement can be emitted with
+// a single cursor walk instead of a per-frame set.
+func DecodeInto(u *Update, frame []byte) error {
 	if len(frame) < HeaderBytes {
-		return nil, fmt.Errorf("codec: frame too short (%d bytes)", len(frame))
+		return fmt.Errorf("codec: frame too short (%d bytes)", len(frame))
 	}
 	f := Format(frame[0])
-	u := &Update{
-		Sender:    int(binary.BigEndian.Uint32(frame[1:5])),
-		Round:     int(binary.BigEndian.Uint32(frame[5:9])),
-		NumParams: int(binary.BigEndian.Uint32(frame[9:13])),
-	}
+	u.Sender = int(binary.BigEndian.Uint32(frame[1:5]))
+	u.Round = int(binary.BigEndian.Uint32(frame[5:9]))
+	u.NumParams = int(binary.BigEndian.Uint32(frame[9:13]))
+	u.Indices = u.Indices[:0]
+	u.Values = u.Values[:0]
 	body := frame[HeaderBytes:]
 
 	switch f {
 	case FormatUnchangedList:
 		if len(body) < 4 {
-			return nil, fmt.Errorf("codec: truncated unchanged-list frame")
+			return fmt.Errorf("codec: truncated unchanged-list frame")
 		}
 		m := int(binary.BigEndian.Uint32(body[:4]))
 		if m > u.NumParams {
-			return nil, fmt.Errorf("codec: unchanged count %d exceeds N=%d", m, u.NumParams)
+			return fmt.Errorf("codec: unchanged count %d exceeds N=%d", m, u.NumParams)
 		}
 		body = body[4:]
 		want := 4*m + 8*(u.NumParams-m)
 		if len(body) != want {
-			return nil, fmt.Errorf("codec: unchanged-list body is %d bytes, want %d", len(body), want)
+			return fmt.Errorf("codec: unchanged-list body is %d bytes, want %d", len(body), want)
 		}
-		unchanged := make(map[int]bool, m)
-		for i := 0; i < m; i++ {
-			idx := int(binary.BigEndian.Uint32(body[4*i : 4*i+4]))
-			if idx >= u.NumParams || unchanged[idx] {
-				return nil, fmt.Errorf("codec: bad unchanged index %d", idx)
-			}
-			unchanged[idx] = true
+		u.grow(u.NumParams - m)
+		if err := complementInto(u, body[:4*m], m); err != nil {
+			return err
 		}
 		body = body[4*m:]
-		u.Indices = make([]int, 0, u.NumParams-m)
-		for idx := 0; idx < u.NumParams; idx++ {
-			if !unchanged[idx] {
-				u.Indices = append(u.Indices, idx)
-			}
-		}
-		u.Values = make([]float64, len(u.Indices))
-		for i := range u.Values {
-			u.Values[i] = math.Float64frombits(binary.BigEndian.Uint64(body[8*i : 8*i+8]))
+		for i := 0; i < u.NumParams-m; i++ {
+			u.Values = append(u.Values, math.Float64frombits(binary.BigEndian.Uint64(body[8*i:8*i+8])))
 		}
 	case FormatUnchangedList32, FormatIndexValue32:
 		if err := decode32(f, u, body); err != nil {
-			return nil, err
+			return err
 		}
 	case FormatIndexValue:
 		if len(body)%12 != 0 {
-			return nil, fmt.Errorf("codec: index-value body length %d not a multiple of 12", len(body))
+			return fmt.Errorf("codec: index-value body length %d not a multiple of 12", len(body))
 		}
 		count := len(body) / 12
-		u.Indices = make([]int, count)
-		u.Values = make([]float64, count)
+		u.grow(count)
 		for i := 0; i < count; i++ {
-			u.Indices[i] = int(binary.BigEndian.Uint32(body[12*i : 12*i+4]))
-			u.Values[i] = math.Float64frombits(binary.BigEndian.Uint64(body[12*i+4 : 12*i+12]))
+			u.Indices = append(u.Indices, int(binary.BigEndian.Uint32(body[12*i:12*i+4])))
+			u.Values = append(u.Values, math.Float64frombits(binary.BigEndian.Uint64(body[12*i+4:12*i+12])))
 		}
 		if !sort.IntsAreSorted(u.Indices) {
-			return nil, fmt.Errorf("codec: index-value indices not sorted")
+			return fmt.Errorf("codec: index-value indices not sorted")
 		}
 	default:
-		return nil, fmt.Errorf("codec: unknown format tag %d", frame[0])
+		return fmt.Errorf("codec: unknown format tag %d", frame[0])
 	}
 	if err := u.Validate(); err != nil {
-		return nil, fmt.Errorf("codec: decoded frame invalid: %w", err)
+		return fmt.Errorf("codec: decoded frame invalid: %w", err)
 	}
-	return u, nil
+	return nil
+}
+
+// grow ensures u's (already length-0) Indices and Values slices can hold
+// count entries without append growth, so a cold Update costs exactly one
+// allocation per slice instead of a geometric growth sequence.
+func (u *Update) grow(count int) {
+	if cap(u.Indices) < count {
+		u.Indices = make([]int, 0, count)
+	}
+	if cap(u.Values) < count {
+		u.Values = make([]float64, 0, count)
+	}
+}
+
+// complementInto appends to u.Indices the complement of the m big-endian
+// uint32 unchanged indices in raw, which must be strictly increasing and
+// within [0, u.NumParams).
+func complementInto(u *Update, raw []byte, m int) error {
+	next := 0 // next parameter index not yet emitted
+	prev := -1
+	for i := 0; i < m; i++ {
+		idx := int(binary.BigEndian.Uint32(raw[4*i : 4*i+4]))
+		if idx <= prev || idx >= u.NumParams {
+			return fmt.Errorf("codec: bad unchanged index %d", idx)
+		}
+		prev = idx
+		for ; next < idx; next++ {
+			u.Indices = append(u.Indices, next)
+		}
+		next = idx + 1
+	}
+	for ; next < u.NumParams; next++ {
+		u.Indices = append(u.Indices, next)
+	}
+	return nil
 }
 
 // Apply overwrites dst's entries at u.Indices with u.Values. dst must have
@@ -267,13 +325,26 @@ func Apply(dst []float64, u *Update) error {
 // accumulated change exceeds threshold is included. threshold < 0 is
 // treated as 0 (send every changed parameter — the SNAP-0 scheme).
 func Diff(sender, round int, baseline, current []float64, threshold float64) (*Update, error) {
+	u := &Update{}
+	if err := DiffInto(u, sender, round, baseline, current, threshold); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// DiffInto is Diff into a caller-owned Update, reusing u's Indices and
+// Values capacity. All fields of u are overwritten.
+func DiffInto(u *Update, sender, round int, baseline, current []float64, threshold float64) error {
 	if len(baseline) != len(current) {
-		return nil, fmt.Errorf("codec: Diff length mismatch %d vs %d", len(baseline), len(current))
+		return fmt.Errorf("codec: Diff length mismatch %d vs %d", len(baseline), len(current))
 	}
 	if threshold < 0 {
 		threshold = 0
 	}
-	u := &Update{Sender: sender, Round: round, NumParams: len(current)}
+	u.Sender, u.Round, u.NumParams = sender, round, len(current)
+	u.Indices = u.Indices[:0]
+	u.Values = u.Values[:0]
+	u.grow(len(current))
 	for idx := range current {
 		delta := math.Abs(current[idx] - baseline[idx])
 		if delta > threshold {
@@ -281,5 +352,5 @@ func Diff(sender, round int, baseline, current []float64, threshold float64) (*U
 			u.Values = append(u.Values, current[idx])
 		}
 	}
-	return u, nil
+	return nil
 }

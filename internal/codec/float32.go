@@ -38,18 +38,27 @@ func ChooseFormat32(n, m int) Format {
 // with ~1e-7 relative error, which is orders of magnitude below SNAP's
 // send thresholds.
 func EncodeLossy(u *Update) ([]byte, Format, error) {
+	return EncodeLossyTo(nil, u)
+}
+
+// EncodeLossyTo is EncodeLossy into a caller-owned buffer: the frame is
+// appended to buf[:0] (buf may be nil) and returned; see EncodeTo for
+// the ownership rule.
+func EncodeLossyTo(buf []byte, u *Update) ([]byte, Format, error) {
 	if err := u.Validate(); err != nil {
 		return nil, 0, err
 	}
 	f := ChooseFormat32(u.NumParams, u.NumWithheld())
-	buf, err := encodeAs32(u, f)
-	return buf, f, err
+	out, err := encodeAs32(buf, u, f)
+	return out, f, err
 }
 
-func encodeAs32(u *Update, f Format) ([]byte, error) {
+func encodeAs32(buf []byte, u *Update, f Format) ([]byte, error) {
 	n, m := u.NumParams, u.NumWithheld()
-	buf := make([]byte, 0, HeaderBytes+PayloadBytes(n, m, f))
-	buf = append(buf, byte(f))
+	if need := HeaderBytes + PayloadBytes(n, m, f); cap(buf) < need {
+		buf = make([]byte, 0, need)
+	}
+	buf = append(buf[:0], byte(f))
 	buf = binary.BigEndian.AppendUint32(buf, uint32(u.Sender))
 	buf = binary.BigEndian.AppendUint32(buf, uint32(u.Round))
 	buf = binary.BigEndian.AppendUint32(buf, uint32(n))
@@ -79,7 +88,9 @@ func encodeAs32(u *Update, f Format) ([]byte, error) {
 	return buf, nil
 }
 
-// decode32 parses the float32 frame bodies (called from Decode).
+// decode32 parses the float32 frame bodies (called from DecodeInto,
+// which has already reset u's slices; same strictly-increasing
+// unchanged-index rule as the float64 formats).
 func decode32(f Format, u *Update, body []byte) error {
 	switch f {
 	case FormatUnchangedList32:
@@ -95,24 +106,13 @@ func decode32(f Format, u *Update, body []byte) error {
 		if len(body) != want {
 			return fmt.Errorf("codec: unchanged-list32 body is %d bytes, want %d", len(body), want)
 		}
-		unchanged := make(map[int]bool, m)
-		for i := 0; i < m; i++ {
-			idx := int(binary.BigEndian.Uint32(body[4*i : 4*i+4]))
-			if idx >= u.NumParams || unchanged[idx] {
-				return fmt.Errorf("codec: bad unchanged index %d", idx)
-			}
-			unchanged[idx] = true
+		u.grow(u.NumParams - m)
+		if err := complementInto(u, body[:4*m], m); err != nil {
+			return err
 		}
 		body = body[4*m:]
-		u.Indices = make([]int, 0, u.NumParams-m)
-		for idx := 0; idx < u.NumParams; idx++ {
-			if !unchanged[idx] {
-				u.Indices = append(u.Indices, idx)
-			}
-		}
-		u.Values = make([]float64, len(u.Indices))
-		for i := range u.Values {
-			u.Values[i] = float64(math.Float32frombits(binary.BigEndian.Uint32(body[4*i : 4*i+4])))
+		for i := 0; i < u.NumParams-m; i++ {
+			u.Values = append(u.Values, float64(math.Float32frombits(binary.BigEndian.Uint32(body[4*i:4*i+4]))))
 		}
 		return nil
 	case FormatIndexValue32:
@@ -120,11 +120,10 @@ func decode32(f Format, u *Update, body []byte) error {
 			return fmt.Errorf("codec: index-value32 body length %d not a multiple of 8", len(body))
 		}
 		count := len(body) / 8
-		u.Indices = make([]int, count)
-		u.Values = make([]float64, count)
+		u.grow(count)
 		for i := 0; i < count; i++ {
-			u.Indices[i] = int(binary.BigEndian.Uint32(body[8*i : 8*i+4]))
-			u.Values[i] = float64(math.Float32frombits(binary.BigEndian.Uint32(body[8*i+4 : 8*i+8])))
+			u.Indices = append(u.Indices, int(binary.BigEndian.Uint32(body[8*i:8*i+4])))
+			u.Values = append(u.Values, float64(math.Float32frombits(binary.BigEndian.Uint32(body[8*i+4:8*i+8]))))
 		}
 		if !sort.IntsAreSorted(u.Indices) {
 			return fmt.Errorf("codec: index-value32 indices not sorted")

@@ -1,0 +1,29 @@
+package codec
+
+import "sync"
+
+// updatePool recycles Update values (with their Indices/Values backing
+// arrays) across decode cycles so receive paths that handle one update
+// per neighbor per round stop allocating once the pool is warm.
+var updatePool = sync.Pool{
+	New: func() any { return new(Update) },
+}
+
+// GetUpdate returns a cleared *Update from the pool. The caller owns it
+// until it calls PutUpdate; typical use is GetUpdate → DecodeInto →
+// consume → PutUpdate.
+func GetUpdate() *Update {
+	return updatePool.Get().(*Update)
+}
+
+// PutUpdate resets u (keeping slice capacity) and returns it to the
+// pool. The caller must not retain u, u.Indices, or u.Values afterward.
+func PutUpdate(u *Update) {
+	if u == nil {
+		return
+	}
+	u.Sender, u.Round, u.NumParams = 0, 0, 0
+	u.Indices = u.Indices[:0]
+	u.Values = u.Values[:0]
+	updatePool.Put(u)
+}

@@ -1,0 +1,201 @@
+package codec
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestEncodeToMatchesEncode pins the buffer-reusing encoders to the
+// allocating ones byte-for-byte, across formats and withheld fractions.
+func TestEncodeToMatchesEncode(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var buf []byte
+	for trial := 0; trial < 50; trial++ {
+		u := randomUpdate(rng, 1+rng.Intn(64))
+
+		want, wantF, err := Encode(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var gotF Format
+		buf, gotF, err = EncodeTo(buf, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotF != wantF || !bytes.Equal(buf, want) {
+			t.Fatalf("trial %d: EncodeTo (format %v) differs from Encode (format %v)", trial, gotF, wantF)
+		}
+
+		wantL, wantLF, err := EncodeLossy(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, gotF, err = EncodeLossyTo(buf, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotF != wantLF || !bytes.Equal(buf, wantL) {
+			t.Fatalf("trial %d: EncodeLossyTo differs from EncodeLossy", trial)
+		}
+	}
+}
+
+// TestDecodeIntoMatchesDecode round-trips random updates through a
+// single reused Update across all four wire formats.
+func TestDecodeIntoMatchesDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	var u Update
+	for trial := 0; trial < 50; trial++ {
+		orig := randomUpdate(rng, 1+rng.Intn(64))
+		for _, lossy := range []bool{false, true} {
+			var frame []byte
+			var err error
+			if lossy {
+				frame, _, err = EncodeLossy(orig)
+			} else {
+				frame, _, err = Encode(orig)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := Decode(frame)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := DecodeInto(&u, frame); err != nil {
+				t.Fatal(err)
+			}
+			if u.Sender != want.Sender || u.Round != want.Round || u.NumParams != want.NumParams {
+				t.Fatalf("trial %d lossy=%v: header mismatch", trial, lossy)
+			}
+			if len(u.Indices) != len(want.Indices) {
+				t.Fatalf("trial %d lossy=%v: %d indices, want %d", trial, lossy, len(u.Indices), len(want.Indices))
+			}
+			for i := range u.Indices {
+				if u.Indices[i] != want.Indices[i] ||
+					math.Float64bits(u.Values[i]) != math.Float64bits(want.Values[i]) {
+					t.Fatalf("trial %d lossy=%v: entry %d differs", trial, lossy, i)
+				}
+			}
+		}
+	}
+}
+
+// TestDecodeIntoRejectsUnsortedUnchanged documents the stricter contract:
+// unchanged-index lists must be strictly increasing on the wire.
+func TestDecodeIntoRejectsUnsortedUnchanged(t *testing.T) {
+	u := &Update{Sender: 1, Round: 2, NumParams: 6, Indices: []int{0, 3, 5}, Values: []float64{1, 2, 3}}
+	frame, err := EncodeAs(u, FormatUnchangedList)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap the two unchanged indices (bytes 17..25 hold them after the
+	// header and the 4-byte count).
+	bad := append([]byte(nil), frame...)
+	copy(bad[17:21], frame[21:25])
+	copy(bad[21:25], frame[17:21])
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("Decode accepted out-of-order unchanged indices")
+	}
+}
+
+// TestDiffIntoMatchesDiff pins DiffInto to Diff with a reused Update.
+func TestDiffIntoMatchesDiff(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var u Update
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(40)
+		baseline := make([]float64, n)
+		current := make([]float64, n)
+		for i := range baseline {
+			baseline[i] = rng.NormFloat64()
+			current[i] = baseline[i] + rng.NormFloat64()*0.1
+		}
+		threshold := rng.Float64() * 0.1
+		want, err := Diff(3, trial, baseline, current, threshold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := DiffInto(&u, 3, trial, baseline, current, threshold); err != nil {
+			t.Fatal(err)
+		}
+		if u.NumParams != want.NumParams || len(u.Indices) != len(want.Indices) {
+			t.Fatalf("trial %d: structure mismatch", trial)
+		}
+		for i := range u.Indices {
+			if u.Indices[i] != want.Indices[i] ||
+				math.Float64bits(u.Values[i]) != math.Float64bits(want.Values[i]) {
+				t.Fatalf("trial %d: entry %d differs", trial, i)
+			}
+		}
+	}
+}
+
+// TestCodecReuseAllocFree pins the steady-state budget of the reusable
+// codec surface to zero allocations per cycle.
+func TestCodecReuseAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	orig := randomUpdate(rng, 48)
+	buf, _, err := EncodeTo(nil, orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := append([]byte(nil), buf...)
+	var dec Update
+	if err := DecodeInto(&dec, frame); err != nil {
+		t.Fatal(err)
+	}
+	baseline := make([]float64, 48)
+	current := make([]float64, 48)
+	for i := range current {
+		current[i] = rng.NormFloat64()
+	}
+	var diff Update
+	if err := DiffInto(&diff, 0, 0, baseline, current, 0.1); err != nil {
+		t.Fatal(err)
+	}
+
+	if n := testing.AllocsPerRun(100, func() {
+		buf, _, _ = EncodeTo(buf, orig)
+	}); n != 0 {
+		t.Errorf("EncodeTo allocated %v times per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		buf, _, _ = EncodeLossyTo(buf, orig)
+	}); n != 0 {
+		t.Errorf("EncodeLossyTo allocated %v times per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if err := DecodeInto(&dec, frame); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("DecodeInto allocated %v times per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if err := DiffInto(&diff, 0, 0, baseline, current, 0.1); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("DiffInto allocated %v times per run, want 0", n)
+	}
+}
+
+// TestUpdatePoolResets verifies the pool hands back cleared updates.
+func TestUpdatePoolResets(t *testing.T) {
+	u := GetUpdate()
+	u.Sender, u.Round, u.NumParams = 7, 9, 5
+	u.Indices = append(u.Indices, 1, 2)
+	u.Values = append(u.Values, 0.5, 0.25)
+	PutUpdate(u)
+	PutUpdate(nil) // must be a no-op
+
+	got := GetUpdate()
+	defer PutUpdate(got)
+	if got.Sender != 0 || got.Round != 0 || got.NumParams != 0 ||
+		len(got.Indices) != 0 || len(got.Values) != 0 {
+		t.Fatalf("pooled update not reset: %+v", got)
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sync"
 	"time"
 
 	"github.com/snapml/snap/internal/codec"
@@ -45,6 +44,10 @@ type ClusterConfig struct {
 	WeightOpt weights.Options
 	// BatchSize limits per-iteration gradients (0 = full batch).
 	BatchSize int
+	// GradWorkers caps the goroutines each engine uses for its sharded
+	// gradient (≤1 = serial; results are bitwise-identical either way,
+	// see model.GradientTo).
+	GradWorkers int
 	// MaxIterations bounds the run. Default 500.
 	MaxIterations int
 	// Convergence configures the stopping rule; zero values use defaults.
@@ -144,6 +147,146 @@ type Cluster struct {
 	engines []*Engine
 	w       *linalg.Matrix
 	met     roundMetrics
+
+	// runners are the persistent per-engine worker goroutines: one
+	// long-lived goroutine per node driven over a command channel, so a
+	// round costs two channel round-trips per node instead of 2N
+	// goroutine spawns. Each runner also owns the node's encode buffer
+	// and decoded-update scratch.
+	runners    []*engineRunner
+	avgScratch linalg.Vector // reusable mean-parameter buffer for eval
+}
+
+// roundCmd tells a runner which phase of which round to execute.
+type roundCmd struct {
+	phase int // 1 = build/encode/broadcast, 2 = collect/integrate/step
+	round int
+}
+
+// engineRunner is one node's persistent worker state.
+type engineRunner struct {
+	eng *Engine
+	enc []byte // reusable wire-frame buffer
+	// decoded backs the updates received each round; updates holds
+	// pointers into it. Both are sized to the node's degree up front:
+	// appending beyond the backing array would move it and dangle the
+	// pointers already handed out.
+	decoded []codec.Update
+	updates []*codec.Update
+	cmd     chan roundCmd
+	done    chan error
+}
+
+// startRunners launches the per-engine worker goroutines (idempotent).
+func (c *Cluster) startRunners() {
+	if c.runners != nil {
+		return
+	}
+	c.runners = make([]*engineRunner, len(c.engines))
+	for i, e := range c.engines {
+		degree := len(c.net.Neighbors(e.ID()))
+		r := &engineRunner{
+			eng:     e,
+			decoded: make([]codec.Update, degree),
+			updates: make([]*codec.Update, 0, degree),
+			cmd:     make(chan roundCmd),
+			done:    make(chan error),
+		}
+		c.runners[i] = r
+		go func() {
+			for cmd := range r.cmd {
+				switch cmd.phase {
+				case 1:
+					r.done <- c.sendPhase(r, cmd.round)
+				default:
+					r.done <- c.stepPhase(r, cmd.round)
+				}
+			}
+		}()
+	}
+}
+
+// stopRunners terminates the worker goroutines.
+func (c *Cluster) stopRunners() {
+	for _, r := range c.runners {
+		close(r.cmd)
+	}
+	c.runners = nil
+}
+
+// runPhase executes one phase on every runner concurrently and returns
+// the first error (the remaining runners still finish the phase — the
+// barrier always drains).
+func (c *Cluster) runPhase(phase, round int) error {
+	for _, r := range c.runners {
+		r.cmd <- roundCmd{phase: phase, round: round}
+	}
+	var firstErr error
+	for _, r := range c.runners {
+		if err := <-r.done; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// sendPhase is phase 1 of a round: build the selective update, encode it
+// into the runner's reusable buffer, and broadcast it.
+func (c *Cluster) sendPhase(r *engineRunner, round int) error {
+	e := r.eng
+	t := time.Now()
+	u, err := e.BuildUpdate(round)
+	if err != nil {
+		return err
+	}
+	c.met.build.Observe(time.Since(t).Seconds())
+	t = time.Now()
+	if c.cfg.Float32Wire {
+		r.enc, _, err = codec.EncodeLossyTo(r.enc, u)
+	} else {
+		r.enc, _, err = codec.EncodeTo(r.enc, u)
+	}
+	if err != nil {
+		return err
+	}
+	c.met.encode.Observe(time.Since(t).Seconds())
+	t = time.Now()
+	for _, j := range c.net.Neighbors(e.ID()) {
+		if err := c.net.Send(e.ID(), j, r.enc); err != nil {
+			return err
+		}
+	}
+	c.met.broadcast.Observe(time.Since(t).Seconds())
+	return nil
+}
+
+// stepPhase is phase 2 of a round: collect the inbox, decode into the
+// runner's scratch updates, integrate, and step.
+func (c *Cluster) stepPhase(r *engineRunner, round int) error {
+	e := r.eng
+	t := time.Now()
+	inbox := c.net.Collect(e.ID())
+	c.met.gather.Observe(time.Since(t).Seconds())
+	t = time.Now()
+	r.updates = r.updates[:0]
+	for _, frame := range inbox {
+		if len(r.updates) == len(r.decoded) {
+			return fmt.Errorf("core: node %d received %d frames for degree %d", e.ID(), len(inbox), len(r.decoded))
+		}
+		u := &r.decoded[len(r.updates)]
+		if err := codec.DecodeInto(u, frame); err != nil {
+			return err
+		}
+		r.updates = append(r.updates, u)
+	}
+	c.met.decode.Observe(time.Since(t).Seconds())
+	t = time.Now()
+	if err := e.Integrate(r.updates); err != nil {
+		return err
+	}
+	c.met.integrate.Observe(time.Since(t).Seconds())
+	e.Step(round)
+	return nil
 }
 
 // NewCluster validates the configuration, builds (and optionally
@@ -206,11 +349,13 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			WRow:           w.Row(i),
 			Neighbors:      cfg.Topology.Neighbors(i),
 			BatchSize:      cfg.BatchSize,
+			GradWorkers:    cfg.GradWorkers,
 			Policy:         cfg.Policy,
 			APE:            cfg.APE,
 			RefreshEvery:   cfg.RefreshEvery,
 			RestartEvery:   cfg.RestartEvery,
 			FullSendRound0: cfg.PerNodeInit,
+			Float32Wire:    cfg.Float32Wire,
 			Init:           init,
 			Obs:            cfg.Obs,
 		})
@@ -237,6 +382,9 @@ func (c *Cluster) Run() (*Result, error) {
 	res := &Result{Scheme: cfg.Policy.String()}
 	lastAcc := math.NaN()
 
+	c.startRunners()
+	defer c.stopRunners()
+
 	for round := 0; round < cfg.MaxIterations; round++ {
 		roundStart := time.Now()
 		c.met.round.Set(float64(round))
@@ -244,61 +392,14 @@ func (c *Cluster) Run() (*Result, error) {
 		c.net.BeginRound(round)
 
 		// Phase 1: every node builds and broadcasts its update. Each
-		// engine goroutine reports its own phase durations; the shared
-		// histograms aggregate them across nodes.
-		if err := c.parallel(func(e *Engine) error {
-			t := time.Now()
-			u, err := e.BuildUpdate(round)
-			if err != nil {
-				return err
-			}
-			c.met.build.Observe(time.Since(t).Seconds())
-			t = time.Now()
-			var frame []byte
-			if c.cfg.Float32Wire {
-				frame, _, err = codec.EncodeLossy(u)
-			} else {
-				frame, _, err = codec.Encode(u)
-			}
-			if err != nil {
-				return err
-			}
-			c.met.encode.Observe(time.Since(t).Seconds())
-			t = time.Now()
-			for _, j := range c.net.Neighbors(e.ID()) {
-				if err := c.net.Send(e.ID(), j, frame); err != nil {
-					return err
-				}
-			}
-			c.met.broadcast.Observe(time.Since(t).Seconds())
-			return nil
-		}); err != nil {
+		// runner reports its own phase durations; the shared histograms
+		// aggregate them across nodes.
+		if err := c.runPhase(1, round); err != nil {
 			return nil, err
 		}
 
 		// Phase 2: every node integrates what arrived and steps.
-		if err := c.parallel(func(e *Engine) error {
-			t := time.Now()
-			inbox := c.net.Collect(e.ID())
-			c.met.gather.Observe(time.Since(t).Seconds())
-			t = time.Now()
-			updates := make([]*codec.Update, 0, len(inbox))
-			for _, frame := range inbox {
-				u, err := codec.Decode(frame)
-				if err != nil {
-					return err
-				}
-				updates = append(updates, u)
-			}
-			c.met.decode.Observe(time.Since(t).Seconds())
-			t = time.Now()
-			if err := e.Integrate(updates); err != nil {
-				return err
-			}
-			c.met.integrate.Observe(time.Since(t).Seconds())
-			e.Step(round)
-			return nil
-		}); err != nil {
+		if err := c.runPhase(2, round); err != nil {
 			return nil, err
 		}
 
@@ -311,7 +412,7 @@ func (c *Cluster) Run() (*Result, error) {
 		consensus := c.consensusResidual()
 		acc := math.NaN()
 		if cfg.Test != nil && (round%cfg.EvalEvery == 0 || round == cfg.MaxIterations-1) {
-			acc = model.Accuracy(cfg.Model, c.AverageParams(), cfg.Test)
+			acc = model.Accuracy(cfg.Model, c.meanParamsInto(), cfg.Test)
 			lastAcc = acc
 		}
 		roundCost := c.net.Ledger().RoundCost(round)
@@ -328,9 +429,11 @@ func (c *Cluster) Run() (*Result, error) {
 		c.met.localLoss.Set(loss)
 		c.met.roundBytes.Set(roundCost)
 		c.met.roundSeconds.Observe(roundSec)
-		cfg.Obs.Emit(-1, obs.EvRoundEnd, round, -1, map[string]any{
-			"seconds": roundSec, "loss": loss, "consensus": consensus, "cost": roundCost,
-		})
+		if cfg.Obs != nil {
+			cfg.Obs.Emit(-1, obs.EvRoundEnd, round, -1, map[string]any{
+				"seconds": roundSec, "loss": loss, "consensus": consensus, "cost": roundCost,
+			})
+		}
 
 		if detector.Observe(loss, consensus) {
 			res.Converged = true
@@ -348,22 +451,6 @@ func (c *Cluster) Run() (*Result, error) {
 	return res, nil
 }
 
-// parallel runs f on every engine concurrently and returns the first
-// error.
-func (c *Cluster) parallel(f func(*Engine) error) error {
-	var wg sync.WaitGroup
-	errs := make([]error, len(c.engines))
-	for i, e := range c.engines {
-		wg.Add(1)
-		go func(i int, e *Engine) {
-			defer wg.Done()
-			errs[i] = f(e)
-		}(i, e)
-	}
-	wg.Wait()
-	return errors.Join(errs...)
-}
-
 // aggregateLoss returns Σ_i f_i(x_i), the paper's objective (1).
 func (c *Cluster) aggregateLoss() float64 {
 	var total float64
@@ -373,13 +460,28 @@ func (c *Cluster) aggregateLoss() float64 {
 	return total
 }
 
+// meanParamsInto computes the across-node mean parameter vector into the
+// cluster's reusable eval buffer (engines' live iterates are read, not
+// copied — safe between phases on the driver goroutine).
+func (c *Cluster) meanParamsInto() linalg.Vector {
+	if c.avgScratch == nil {
+		c.avgScratch = linalg.NewVector(c.cfg.Model.NumParams())
+	}
+	avg := c.avgScratch
+	avg.Fill(0)
+	for _, e := range c.engines {
+		avg.AddInPlace(e.x)
+	}
+	return linalg.ScaleTo(avg, 1/float64(len(c.engines)), avg)
+}
+
 // consensusResidual returns max_i ||x_i − x̄||∞, the disagreement metric
 // used for the consensus constraint (3).
 func (c *Cluster) consensusResidual() float64 {
-	avg := c.AverageParams()
+	avg := c.meanParamsInto()
 	var worst float64
 	for _, e := range c.engines {
-		if d := e.Params().Sub(avg).NormInf(); d > worst {
+		if d := linalg.DistInf(e.x, avg); d > worst {
 			worst = d
 		}
 	}
@@ -387,13 +489,10 @@ func (c *Cluster) consensusResidual() float64 {
 }
 
 // AverageParams returns the across-node mean parameter vector — the model
-// the experiments evaluate accuracy on.
+// the experiments evaluate accuracy on. The returned vector is a fresh
+// copy the caller owns.
 func (c *Cluster) AverageParams() linalg.Vector {
-	avg := linalg.NewVector(c.engines[0].cfg.Model.NumParams())
-	for _, e := range c.engines {
-		avg.AddInPlace(e.Params())
-	}
-	return avg.Scale(1 / float64(len(c.engines)))
+	return c.meanParamsInto().Clone()
 }
 
 // Engines exposes the node engines (read-only use in tests/experiments).

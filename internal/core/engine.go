@@ -61,6 +61,11 @@ type EngineConfig struct {
 	// BatchSize limits the per-iteration gradient batch (0 = full local
 	// data, the deterministic EXTRA setting).
 	BatchSize int
+	// GradWorkers caps the goroutines used for the sharded gradient
+	// (≤1 = serial). The result is bitwise-identical for every value:
+	// shard boundaries and the reduction tree depend only on the batch
+	// length (see model.GradientTo).
+	GradWorkers int
 	// Policy selects the transmission scheme.
 	Policy SendPolicy
 	// APE configures the threshold schedule (used when Policy ==
@@ -90,6 +95,12 @@ type EngineConfig struct {
 	// corrupted history and re-converges from the current iterate (EXTRA
 	// converges from any initial point), bounding the staleness bias.
 	RestartEvery int
+	// Float32Wire declares that this node's updates travel as float32
+	// (codec.EncodeLossy). The engine then records the float32-rounded
+	// value — what the receiver actually reconstructs — in its sent
+	// baseline, so the selective diff is computed against the true remote
+	// view rather than a full-precision value the neighbor never saw.
+	Float32Wire bool
 	// Init is the node's initial parameter vector (shared by all nodes in
 	// the paper's setup). It is cloned, not aliased.
 	Init linalg.Vector
@@ -104,20 +115,41 @@ type EngineConfig struct {
 // Engine is one edge server's training state: the EXTRA two-term recursion
 // over its own parameters plus its view of each neighbor's parameters,
 // fed by selective updates.
+//
+// Buffer ownership: the engine preallocates every vector the round loop
+// touches at construction and recycles them across rounds (see DESIGN.md
+// "Hot path & buffer ownership"). Everything a method returns without a
+// documented copy — Step's iterate, BuildUpdate's *codec.Update — is
+// engine-owned scratch, valid only until the next call of the same
+// method.
 type Engine struct {
 	cfg  EngineConfig
 	wRow linalg.Vector
 
 	x     linalg.Vector // x^{k+1}, the current iterate
 	xPrev linalg.Vector // x^k
+	grad  linalg.Vector // ∇f_i(x^{k+1}) scratch for the current step
 	gPrev linalg.Vector // ∇f_i(x^k)
+	mix   linalg.Vector // Σ_j w_ij·x_j scratch
+	next  linalg.Vector // x^{k+2} under construction
 	k     int           // EXTRA iteration counter (reset on APE restart)
 
-	neighborCur  map[int]linalg.Vector // view of x_j^{k+1}
-	neighborPrev map[int]linalg.Vector // view of x_j^k
+	// Neighbor views are stored in slot arrays indexed by the position of
+	// the neighbor id in the sorted nbrIDs slice; nbrIdx maps id → slot
+	// (lookups only — iteration always walks the slices, in id order, so
+	// float summation is deterministic).
+	nbrIDs  []int
+	nbrIdx  map[int]int
+	nbrW    []float64       // w_{ID,j} per slot
+	nbrCur  []linalg.Vector // view of x_j^{k+1} per slot
+	nbrPrev []linalg.Vector // view of x_j^k per slot
 
 	lastSent linalg.Vector // values the neighbors currently hold for us
 	ape      *APEController
+
+	upd      codec.Update     // reusable BuildUpdate output
+	batchBuf []dataset.Sample // reusable mini-batch buffer
+	gradSc   model.GradScratch
 
 	// forceFull makes the next BuildUpdate transmit the complete
 	// parameter vector regardless of policy — set after a neighbor
@@ -161,39 +193,62 @@ func newEngineMetrics(o *obs.Observer, nodeID int) engineMetrics {
 	}
 }
 
-// NewEngine validates cfg and builds the engine.
+// validateTopology checks a weight row and neighbor set for node id:
+// the row must cover the node and every neighbor, neighbors must be
+// distinct ids other than the node itself, and the row must sum to 1.
+func validateTopology(id int, wRow linalg.Vector, neighbors []int) error {
+	if len(wRow) <= id {
+		return fmt.Errorf("core: node %d weight row has length %d", id, len(wRow))
+	}
+	var rowSum float64
+	for _, w := range wRow {
+		rowSum += w
+	}
+	if math.Abs(rowSum-1) > 1e-6 {
+		return fmt.Errorf("core: node %d weight row sums to %g, want 1", id, rowSum)
+	}
+	for _, j := range neighbors {
+		if j < 0 || j >= len(wRow) {
+			return fmt.Errorf("core: node %d neighbor %d outside weight row of length %d", id, j, len(wRow))
+		}
+		if j == id {
+			return fmt.Errorf("core: node %d lists itself as a neighbor", id)
+		}
+	}
+	return nil
+}
+
+// NewEngine validates cfg and builds the engine, preallocating all
+// per-round scratch.
 func NewEngine(cfg EngineConfig) (*Engine, error) {
 	p := cfg.Model.NumParams()
 	if len(cfg.Init) != p {
 		return nil, fmt.Errorf("core: node %d init has %d params, model needs %d", cfg.ID, len(cfg.Init), p)
 	}
-	if len(cfg.WRow) <= cfg.ID {
-		return nil, fmt.Errorf("core: node %d weight row has length %d", cfg.ID, len(cfg.WRow))
-	}
 	if cfg.Alpha <= 0 {
 		return nil, fmt.Errorf("core: node %d requires positive Alpha", cfg.ID)
 	}
-	var rowSum float64
-	for _, w := range cfg.WRow {
-		rowSum += w
-	}
-	if math.Abs(rowSum-1) > 1e-6 {
-		return nil, fmt.Errorf("core: node %d weight row sums to %g, want 1", cfg.ID, rowSum)
+	if err := validateTopology(cfg.ID, cfg.WRow, cfg.Neighbors); err != nil {
+		return nil, err
 	}
 	e := &Engine{
-		cfg:          cfg,
-		wRow:         cfg.WRow.Clone(),
-		x:            cfg.Init.Clone(),
-		lastSent:     cfg.Init.Clone(),
-		neighborCur:  make(map[int]linalg.Vector, len(cfg.Neighbors)),
-		neighborPrev: make(map[int]linalg.Vector, len(cfg.Neighbors)),
+		cfg:      cfg,
+		wRow:     cfg.WRow.Clone(),
+		x:        cfg.Init.Clone(),
+		xPrev:    linalg.NewVector(p),
+		grad:     linalg.NewVector(p),
+		gPrev:    linalg.NewVector(p),
+		mix:      linalg.NewVector(p),
+		next:     linalg.NewVector(p),
+		lastSent: cfg.Init.Clone(),
 	}
-	for _, j := range cfg.Neighbors {
+	e.upd.Indices = make([]int, 0, p)
+	e.upd.Values = make([]float64, 0, p)
+	e.setNeighbors(cfg.Neighbors, func(int) (linalg.Vector, linalg.Vector) {
 		// All nodes share the same initial parameters, so the initial
 		// neighbor view is exact without any round-0 full exchange.
-		e.neighborCur[j] = cfg.Init.Clone()
-		e.neighborPrev[j] = cfg.Init.Clone()
-	}
+		return cfg.Init.Clone(), cfg.Init.Clone()
+	})
 	if cfg.Policy == SendSelected {
 		apeCfg := cfg.APE
 		apeCfg.Alpha = cfg.Alpha
@@ -211,6 +266,25 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	return e, nil
 }
 
+// setNeighbors rebuilds the slot arrays for the given neighbor set
+// (sorted copy) using seed to produce each slot's (cur, prev) views.
+// e.wRow must already hold the row the slots index into.
+func (e *Engine) setNeighbors(neighbors []int, seed func(j int) (cur, prev linalg.Vector)) {
+	ids := append([]int(nil), neighbors...)
+	sort.Ints(ids)
+	e.nbrIDs = ids
+	e.nbrIdx = make(map[int]int, len(ids))
+	e.nbrW = make([]float64, len(ids))
+	e.nbrCur = make([]linalg.Vector, len(ids))
+	e.nbrPrev = make([]linalg.Vector, len(ids))
+	for s, j := range ids {
+		e.nbrIdx[j] = s
+		e.nbrW[s] = e.wRow[j]
+		e.nbrCur[s], e.nbrPrev[s] = seed(j)
+	}
+	e.cfg.Neighbors = ids
+}
+
 // Reconfigure swaps the engine's mixing row and neighbor set in place —
 // the node-side half of an epoch switch. Views of retained neighbors
 // survive (their parameters did not change just because the topology
@@ -221,35 +295,24 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 // peer does the same, so the first post-switch Integrate replaces the
 // seeded views with exact ones before they are ever mixed.
 //
+// The parameter dimensionality is fixed by the model, so lastSent, the
+// APE controller, and every scratch vector keep their size across a
+// reconfiguration; only the neighbor slots are rebuilt.
+//
 // Like the rest of the engine it must be called from the training-loop
 // goroutine, between rounds.
 func (e *Engine) Reconfigure(wRow linalg.Vector, neighbors []int) error {
-	if len(wRow) <= e.cfg.ID {
-		return fmt.Errorf("core: node %d reconfigure: weight row has length %d", e.cfg.ID, len(wRow))
+	if err := validateTopology(e.cfg.ID, wRow, neighbors); err != nil {
+		return fmt.Errorf("core: node %d reconfigure: %w", e.cfg.ID, err)
 	}
-	var rowSum float64
-	for _, w := range wRow {
-		rowSum += w
-	}
-	if math.Abs(rowSum-1) > 1e-6 {
-		return fmt.Errorf("core: node %d reconfigure: weight row sums to %g, want 1", e.cfg.ID, rowSum)
-	}
-	nbrs := append([]int(nil), neighbors...)
-	sort.Ints(nbrs)
-	cur := make(map[int]linalg.Vector, len(nbrs))
-	prev := make(map[int]linalg.Vector, len(nbrs))
-	for _, j := range nbrs {
-		if old, ok := e.neighborCur[j]; ok {
-			cur[j] = old
-			prev[j] = e.neighborPrev[j]
-		} else {
-			cur[j] = e.x.Clone()
-			prev[j] = e.x.Clone()
-		}
-	}
-	e.neighborCur, e.neighborPrev = cur, prev
+	oldIdx, oldCur, oldPrev := e.nbrIdx, e.nbrCur, e.nbrPrev
 	e.wRow = wRow.Clone()
-	e.cfg.Neighbors = nbrs
+	e.setNeighbors(neighbors, func(j int) (linalg.Vector, linalg.Vector) {
+		if s, ok := oldIdx[j]; ok {
+			return oldCur[s], oldPrev[s]
+		}
+		return e.x.Clone(), e.x.Clone()
+	})
 	e.RestartNow()
 	e.forceFull = true
 	return nil
@@ -257,7 +320,7 @@ func (e *Engine) Reconfigure(wRow linalg.Vector, neighbors []int) error {
 
 // Neighbors returns a copy of the current neighbor id set.
 func (e *Engine) Neighbors() []int {
-	return append([]int(nil), e.cfg.Neighbors...)
+	return append([]int(nil), e.nbrIDs...)
 }
 
 // RestartNow restarts the EXTRA two-term recursion immediately: the next
@@ -277,9 +340,11 @@ func (e *Engine) publishAPE() {
 // ID returns the node id.
 func (e *Engine) ID() int { return e.cfg.ID }
 
-// Params returns the current iterate (not a copy; callers must not
-// modify it).
-func (e *Engine) Params() linalg.Vector { return e.x }
+// Params returns a copy of the current iterate. The engine recycles its
+// internal buffers every Step, so handing out the live vector would let
+// a caller's snapshot silently mutate; callers on the hot path that can
+// honor the read-only contract use the iterate Step returns instead.
+func (e *Engine) Params() linalg.Vector { return e.x.Clone() }
 
 // Restarts returns how many APE stage transitions have restarted the
 // EXTRA recursion.
@@ -295,7 +360,14 @@ func (e *Engine) LocalLoss() float64 {
 // returning the update (before encoding) so callers can account sizes.
 // Per SendPolicy it contains all parameters, all changed parameters, or
 // only those whose accumulated change exceeds the APE threshold.
+//
+// The returned *codec.Update is engine-owned scratch: it is valid until
+// the next BuildUpdate call and must not be retained or mutated.
 func (e *Engine) BuildUpdate(round int) (*codec.Update, error) {
+	if len(e.lastSent) != len(e.x) {
+		return nil, fmt.Errorf("core: node %d sent-baseline has %d params, iterate has %d",
+			e.cfg.ID, len(e.lastSent), len(e.x))
+	}
 	policy := e.cfg.Policy
 	fullReason := "" // why the policy was elevated to SendAll, if it was
 	if e.cfg.RefreshEvery > 0 && round > 0 && round%e.cfg.RefreshEvery == 0 {
@@ -308,33 +380,28 @@ func (e *Engine) BuildUpdate(round int) (*codec.Update, error) {
 		policy, fullReason = SendAll, "reconnect"
 		e.forceFull = false
 	}
-	var u *codec.Update
-	var err error
+	u := &e.upd
 	switch policy {
 	case SendAll:
-		u = &codec.Update{Sender: e.cfg.ID, Round: round, NumParams: len(e.x)}
-		u.Indices = make([]int, len(e.x))
-		u.Values = make([]float64, len(e.x))
+		u.Sender, u.Round, u.NumParams = e.cfg.ID, round, len(e.x)
+		u.Indices = u.Indices[:0]
+		u.Values = u.Values[:0]
 		for i, v := range e.x {
-			u.Indices[i] = i
-			u.Values[i] = v
+			u.Indices = append(u.Indices, i)
+			u.Values = append(u.Values, v)
 		}
-		copy(e.lastSent, e.x)
 	case SendChanged:
-		u, err = codec.Diff(e.cfg.ID, round, e.lastSent, e.x, 0)
-		if err != nil {
+		if err := codec.DiffInto(u, e.cfg.ID, round, e.lastSent, e.x, 0); err != nil {
 			return nil, err
 		}
-		e.markSent(u)
 	case SendSelected:
-		u, err = codec.Diff(e.cfg.ID, round, e.lastSent, e.x, e.ape.SendThreshold())
-		if err != nil {
+		if err := codec.DiffInto(u, e.cfg.ID, round, e.lastSent, e.x, e.ape.SendThreshold()); err != nil {
 			return nil, err
 		}
-		e.markSent(u)
 	default:
 		return nil, fmt.Errorf("core: node %d has unknown send policy %d", e.cfg.ID, int(e.cfg.Policy))
 	}
+	e.markSent(u)
 
 	// Selected-vs-withheld accounting: the per-round selection gauge and
 	// cumulative counters are the live form of the paper's Fig. 4b
@@ -344,7 +411,9 @@ func (e *Engine) BuildUpdate(round int) (*codec.Update, error) {
 	e.met.paramsWithheld.Add(int64(len(e.x) - len(u.Indices)))
 	if fullReason != "" && e.cfg.Policy != SendAll {
 		e.met.fullSends.Inc()
-		e.cfg.Obs.Emit(e.cfg.ID, obs.EvRefresh, round, -1, map[string]any{"reason": fullReason})
+		if e.cfg.Obs != nil {
+			e.cfg.Obs.Emit(e.cfg.ID, obs.EvRefresh, round, -1, map[string]any{"reason": fullReason})
+		}
 	}
 	return u, nil
 }
@@ -358,7 +427,19 @@ func (e *Engine) BuildUpdate(round int) (*codec.Update, error) {
 // BuildUpdate (call from the training-loop goroutine).
 func (e *Engine) RequestFullSend() { e.forceFull = true }
 
+// markSent records what the receivers will hold for us after applying u.
+// On a float32 wire the receivers reconstruct the rounded value, so
+// that — not the full-precision local value — is the baseline future
+// selective diffs must be computed against; recording the unrounded
+// value would leave a permanent sub-rounding discrepancy the diff
+// protocol could never see or repair.
 func (e *Engine) markSent(u *codec.Update) {
+	if e.cfg.Float32Wire {
+		for i, idx := range u.Indices {
+			e.lastSent[idx] = float64(float32(u.Values[i]))
+		}
+		return
+	}
 	for i, idx := range u.Indices {
 		e.lastSent[idx] = u.Values[i]
 	}
@@ -369,15 +450,15 @@ func (e *Engine) markSent(u *codec.Update) {
 // parameters, stragglers, failed links) simply keep their last values —
 // the paper's staleness semantics.
 func (e *Engine) Integrate(updates []*codec.Update) error {
-	for j, cur := range e.neighborCur {
-		copy(e.neighborPrev[j], cur)
+	for s := range e.nbrIDs {
+		copy(e.nbrPrev[s], e.nbrCur[s])
 	}
 	for _, u := range updates {
-		view, ok := e.neighborCur[u.Sender]
+		slot, ok := e.nbrIdx[u.Sender]
 		if !ok {
 			return fmt.Errorf("core: node %d received update from non-neighbor %d", e.cfg.ID, u.Sender)
 		}
-		if err := codec.Apply(view, u); err != nil {
+		if err := codec.Apply(e.nbrCur[slot], u); err != nil {
 			return fmt.Errorf("core: node %d integrating from %d: %w", e.cfg.ID, u.Sender, err)
 		}
 	}
@@ -387,41 +468,45 @@ func (e *Engine) Integrate(updates []*codec.Update) error {
 // Step advances the EXTRA recursion one iteration using the current
 // neighbor views, returning the new iterate. round selects the gradient
 // mini-batch when BatchSize > 0.
+//
+// The returned vector is the engine's live iterate: read-only, valid
+// until the next Step. Use Params for a stable copy.
 func (e *Engine) Step(round int) linalg.Vector {
 	start := time.Now()
 	batch := e.cfg.Data.Samples
-	if e.cfg.BatchSize > 0 {
-		batch = e.cfg.Data.Batch(round, e.cfg.BatchSize)
+	if bs := e.cfg.BatchSize; bs > 0 && bs < len(batch) {
+		e.batchBuf = e.cfg.Data.BatchInto(e.batchBuf, round, bs)
+		batch = e.batchBuf
 	}
-	grad := e.cfg.Model.Gradient(e.x, batch)
+	model.GradientTo(e.cfg.Model, e.grad, e.x, batch, &e.gradSc, e.cfg.GradWorkers)
 
-	// mix = Σ_j w_ij·x_j^{k+1} (including the self term). Neighbors are
-	// visited in sorted order so float summation is deterministic.
-	mix := e.x.Scale(e.wRow[e.cfg.ID])
-	for _, j := range e.cfg.Neighbors {
-		mix.AXPYInPlace(e.wRow[j], e.neighborCur[j])
-	}
+	// mix = Σ_j w_ij·x_j^{k+1} (including the self term). The fused kernel
+	// accumulates neighbors in slot (= sorted id) order, bitwise-matching
+	// the sequential Scale-then-AXPY loop it replaced.
+	linalg.MixTo(e.mix, e.wRow[e.cfg.ID], e.x, e.nbrW, e.nbrCur)
 
-	var next linalg.Vector
 	if e.k == 0 {
 		// x^1 = W·x^0 − α∇f(x^0).
-		next = mix.AXPYInPlace(-e.cfg.Alpha, grad)
+		linalg.AXPYTo(e.next, e.mix, -e.cfg.Alpha, e.grad)
 	} else {
 		// x^{k+2} = x^{k+1} + W·x^{k+1} − W̃·x^k − α(∇f(x^{k+1}) − ∇f(x^k))
 		// with W̃ = (W+I)/2, so the W̃ row is w_ij/2 off-diagonal and
 		// (w_ii+1)/2 on the diagonal.
-		next = e.x.Add(mix)
-		next.AXPYInPlace(-(e.wRow[e.cfg.ID]+1)/2, e.xPrev)
-		for _, j := range e.cfg.Neighbors {
-			next.AXPYInPlace(-e.wRow[j]/2, e.neighborPrev[j])
+		linalg.AddTo(e.next, e.x, e.mix)
+		e.next.AXPYInPlace(-(e.wRow[e.cfg.ID]+1)/2, e.xPrev)
+		for s := range e.nbrIDs {
+			e.next.AXPYInPlace(-e.nbrW[s]/2, e.nbrPrev[s])
 		}
-		next.AXPYInPlace(-e.cfg.Alpha, grad)
-		next.AXPYInPlace(e.cfg.Alpha, e.gPrev)
+		e.next.AXPYInPlace(-e.cfg.Alpha, e.grad)
+		e.next.AXPYInPlace(e.cfg.Alpha, e.gPrev)
 	}
 
-	e.xPrev = e.x
-	e.gPrev = grad
-	e.x = next
+	// Rotate the scratch vectors instead of allocating: the old x becomes
+	// x^k, the freshly built iterate becomes x^{k+1}, and the old x^k
+	// buffer is recycled as the next round's construction space. The
+	// gradient pair swaps the same way.
+	e.xPrev, e.x, e.next = e.x, e.next, e.xPrev
+	e.grad, e.gPrev = e.gPrev, e.grad
 	e.k++
 	e.met.compute.Observe(time.Since(start).Seconds())
 
@@ -430,11 +515,13 @@ func (e *Engine) Step(round int) linalg.Vector {
 		// literal Algorithm-1 reading is requested, restart the recursion
 		// from the current solution.
 		e.publishAPE()
-		e.cfg.Obs.Emit(e.cfg.ID, obs.EvAPEStage, round, -1, map[string]any{
-			"stage":          e.ape.Stage(),
-			"threshold":      e.ape.Threshold(),
-			"send_threshold": e.ape.SendThreshold(),
-		})
+		if e.cfg.Obs != nil {
+			e.cfg.Obs.Emit(e.cfg.ID, obs.EvAPEStage, round, -1, map[string]any{
+				"stage":          e.ape.Stage(),
+				"threshold":      e.ape.Threshold(),
+				"send_threshold": e.ape.SendThreshold(),
+			})
+		}
 		if e.cfg.APE.RestartRecursion {
 			e.restartRecursion()
 		}
@@ -446,11 +533,11 @@ func (e *Engine) Step(round int) linalg.Vector {
 }
 
 // restartRecursion resets the EXTRA two-term recursion so the next Step
-// applies the k=0 equation from the current iterate.
+// applies the k=0 equation from the current iterate. The xPrev/gPrev
+// buffers keep their storage (the k=0 step never reads them and
+// overwrites both via rotation).
 func (e *Engine) restartRecursion() {
 	e.k = 0
-	e.xPrev = nil
-	e.gPrev = nil
 	e.restarts++
 	e.met.restarts.Inc()
 }

@@ -152,18 +152,19 @@ func TestIntegrateShiftsPrevView(t *testing.T) {
 	if err := eng.Integrate([]*codec.Update{u}); err != nil {
 		t.Fatal(err)
 	}
-	if eng.neighborCur[1][0] != 42 {
-		t.Errorf("neighborCur not updated: %v", eng.neighborCur[1][0])
+	slot := eng.nbrIdx[1]
+	if eng.nbrCur[slot][0] != 42 {
+		t.Errorf("neighbor cur view not updated: %v", eng.nbrCur[slot][0])
 	}
-	if eng.neighborPrev[1][0] == 42 {
-		t.Error("neighborPrev advanced to the new value too early")
+	if eng.nbrPrev[slot][0] == 42 {
+		t.Error("neighbor prev view advanced to the new value too early")
 	}
 	// Second integrate: prev must now see 42.
 	if err := eng.Integrate(nil); err != nil {
 		t.Fatal(err)
 	}
-	if eng.neighborPrev[1][0] != 42 {
-		t.Errorf("neighborPrev = %v after shift, want 42", eng.neighborPrev[1][0])
+	if eng.nbrPrev[slot][0] != 42 {
+		t.Errorf("neighbor prev view = %v after shift, want 42", eng.nbrPrev[slot][0])
 	}
 }
 
@@ -334,10 +335,10 @@ func TestEngineReconfigure(t *testing.T) {
 		t.Errorf("k = %d after Reconfigure, want 0", eng.k)
 	}
 	// The view of the new neighbor is seeded with our own iterate.
-	if got := eng.neighborCur[3]; math.Abs(got[0]-eng.x[0]) > 1e-15 {
+	if got := eng.nbrCur[eng.nbrIdx[3]]; math.Abs(got[0]-eng.x[0]) > 1e-15 {
 		t.Errorf("new neighbor view[0] = %g, want own x[0] = %g", got[0], eng.x[0])
 	}
-	if _, ok := eng.neighborCur[2]; ok {
+	if _, ok := eng.nbrIdx[2]; ok {
 		t.Error("removed neighbor 2 still has a view")
 	}
 	// The switch forces a full send regardless of policy.

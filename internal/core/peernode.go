@@ -93,6 +93,12 @@ type PeerNode struct {
 	sendFailures atomic.Int64
 	refreshes    atomic.Int64
 
+	// encBuf and updates are the round loop's reusable encode buffer and
+	// decoded-update slice (Peer.Send writes synchronously, so the frame
+	// buffer is free for reuse as soon as Broadcast returns).
+	encBuf  []byte
+	updates []*codec.Update
+
 	met roundMetrics
 }
 
@@ -265,10 +271,15 @@ func (pn *PeerNode) Run(rounds int) (*metrics.Trace, error) {
 		pn.met.build.Observe(time.Since(t).Seconds())
 
 		t = time.Now()
-		frame, _, err := codec.Encode(u)
+		if pn.cfg.Engine.Float32Wire {
+			pn.encBuf, _, err = codec.EncodeLossyTo(pn.encBuf, u)
+		} else {
+			pn.encBuf, _, err = codec.EncodeTo(pn.encBuf, u)
+		}
 		if err != nil {
 			return trace, err
 		}
+		frame := pn.encBuf
 		pn.met.encode.Observe(time.Since(t).Seconds())
 
 		t = time.Now()
@@ -278,44 +289,61 @@ func (pn *PeerNode) Run(rounds int) (*metrics.Trace, error) {
 			// transport reconnects in the background.
 			pn.sendFailures.Add(1)
 			pn.met.sendFailures.Inc()
-			pn.cfg.Obs.Emit(id, obs.EvFault, round, -1,
-				map[string]any{"kind": "send_failure", "error": err.Error()})
+			if pn.cfg.Obs != nil {
+				pn.cfg.Obs.Emit(id, obs.EvFault, round, -1,
+					map[string]any{"kind": "send_failure", "error": err.Error()})
+			}
 			pn.logf("node %d: broadcast round %d: %v (continuing; link treated as straggler)",
 				id, round, err)
 		}
 		pn.met.broadcast.Observe(time.Since(t).Seconds())
-		pn.cfg.Obs.Emit(id, obs.EvBroadcast, round, -1,
-			map[string]any{"bytes": len(frame), "selected": len(u.Indices)})
+		if pn.cfg.Obs != nil {
+			pn.cfg.Obs.Emit(id, obs.EvBroadcast, round, -1,
+				map[string]any{"bytes": len(frame), "selected": len(u.Indices)})
+		}
 
 		t = time.Now()
 		inbox := pn.peer.Gather(round, pn.cfg.RoundTimeout)
 		pn.met.gather.Observe(time.Since(t).Seconds())
 
 		t = time.Now()
-		updates := make([]*codec.Update, 0, len(inbox))
+		pn.updates = pn.updates[:0]
 		for from, f := range inbox {
-			dec, err := codec.Decode(f)
-			if err != nil {
+			dec := codec.GetUpdate()
+			if err := codec.DecodeInto(dec, f); err != nil {
 				// A corrupt frame from one neighbor is that neighbor's
 				// problem, not ours: drop it and reuse their last view.
+				codec.PutUpdate(dec)
 				pn.met.corrupt.Inc()
-				pn.cfg.Obs.Emit(id, obs.EvFault, round, from,
-					map[string]any{"kind": "corrupt_frame", "error": err.Error()})
+				if pn.cfg.Obs != nil {
+					pn.cfg.Obs.Emit(id, obs.EvFault, round, from,
+						map[string]any{"kind": "corrupt_frame", "error": err.Error()})
+				}
 				pn.logf("node %d: dropping corrupt round-%d frame from %d: %v",
 					id, round, from, err)
 				continue
 			}
-			updates = append(updates, dec)
+			pn.updates = append(pn.updates, dec)
+			// DecodeInto never aliases the wire bytes, so the frame buffer
+			// can rejoin the transport's receive pool immediately.
+			transport.RecycleFrame(f)
 		}
 		pn.met.decode.Observe(time.Since(t).Seconds())
 
 		t = time.Now()
-		if err := pn.engine.Integrate(updates); err != nil {
+		err = pn.engine.Integrate(pn.updates)
+		for i, dec := range pn.updates {
+			codec.PutUpdate(dec)
+			pn.updates[i] = nil
+		}
+		if err != nil {
 			return trace, err
 		}
 		pn.met.integrate.Observe(time.Since(t).Seconds())
-		pn.cfg.Obs.Emit(id, obs.EvIntegrate, round, -1,
-			map[string]any{"updates": len(updates)})
+		if pn.cfg.Obs != nil {
+			pn.cfg.Obs.Emit(id, obs.EvIntegrate, round, -1,
+				map[string]any{"updates": len(inbox)})
+		}
 
 		pn.engine.Step(round)
 		pn.peer.ForgetRound(round)
@@ -326,8 +354,10 @@ func (pn *PeerNode) Run(rounds int) (*metrics.Trace, error) {
 		pn.met.localLoss.Set(loss)
 		pn.met.roundBytes.Set(float64(roundBytes))
 		pn.met.roundSeconds.Observe(roundSec)
-		pn.cfg.Obs.Emit(id, obs.EvRoundEnd, round, -1,
-			map[string]any{"seconds": roundSec, "loss": loss, "bytes": roundBytes})
+		if pn.cfg.Obs != nil {
+			pn.cfg.Obs.Emit(id, obs.EvRoundEnd, round, -1,
+				map[string]any{"seconds": roundSec, "loss": loss, "bytes": roundBytes})
+		}
 
 		trace.Append(metrics.IterationStat{
 			Round: round,
@@ -394,8 +424,10 @@ func (pn *PeerNode) maybeReconfigure(round int) error {
 			// A peer that cannot be reached yet is a straggler, not a
 			// fatal error: its address is registered, so the transport
 			// keeps reconnecting in the background.
-			pn.cfg.Obs.Emit(id, obs.EvFault, round, -1,
-				map[string]any{"kind": "reconfig_connect", "error": err.Error()})
+			if pn.cfg.Obs != nil {
+				pn.cfg.Obs.Emit(id, obs.EvFault, round, -1,
+					map[string]any{"kind": "reconfig_connect", "error": err.Error()})
+			}
 			pn.logf("node %d: epoch %d: connecting new links: %v (continuing)", id, plan.Epoch, err)
 		}
 	}
@@ -408,11 +440,13 @@ func (pn *PeerNode) maybeReconfigure(round int) error {
 	pn.met.epoch.Set(float64(plan.Epoch))
 	pn.met.epochsApplied.Inc()
 	pn.met.reconfigSeconds.Observe(sec)
-	pn.cfg.Obs.Emit(id, obs.EvEpochApplied, round, -1, map[string]any{
-		"epoch":     plan.Epoch,
-		"neighbors": len(plan.Neighbors),
-		"seconds":   sec,
-	})
+	if pn.cfg.Obs != nil {
+		pn.cfg.Obs.Emit(id, obs.EvEpochApplied, round, -1, map[string]any{
+			"epoch":     plan.Epoch,
+			"neighbors": len(plan.Neighbors),
+			"seconds":   sec,
+		})
+	}
 	pn.logf("node %d: applied epoch %d at round %d (%d neighbors, %.1fms)",
 		id, plan.Epoch, round, len(plan.Neighbors), sec*1000)
 	return nil

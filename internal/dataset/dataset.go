@@ -52,6 +52,16 @@ func (d *Dataset) Subset(indices []int) *Dataset {
 // advances with round, wrapping around the dataset. It gives every node a
 // reproducible mini-batch schedule without shared state.
 func (d *Dataset) Batch(round, size int) []Sample {
+	return d.BatchInto(nil, round, size)
+}
+
+// BatchInto is Batch into a caller-owned buffer: the mini-batch is
+// appended to buf[:0] (buf may be nil), so a warm buffer makes the
+// steady-state batch schedule allocation-free. When size covers the
+// whole dataset the shared d.Samples slice is returned directly — the
+// caller must treat the result as read-only and must not keep it as its
+// reuse buffer.
+func (d *Dataset) BatchInto(buf []Sample, round, size int) []Sample {
 	n := len(d.Samples)
 	if n == 0 || size <= 0 {
 		return nil
@@ -60,7 +70,7 @@ func (d *Dataset) Batch(round, size int) []Sample {
 		return d.Samples
 	}
 	start := (round * size) % n
-	out := make([]Sample, 0, size)
+	out := buf[:0]
 	for i := 0; i < size; i++ {
 		out = append(out, d.Samples[(start+i)%n])
 	}

@@ -1,0 +1,137 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randVec(n int, rng *rand.Rand) Vector {
+	v := NewVector(n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+// bitsEqual reports bitwise equality of two vectors (the determinism
+// contract of the kernels; plain float == is banned in this package).
+func bitsEqual(v, w Vector) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if math.Float64bits(v[i]) != math.Float64bits(w[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestScaleTo(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	v := randVec(9, rng)
+	dst := NewVector(9)
+	if got := ScaleTo(dst, 2.5, v); !bitsEqual(got, v.Scale(2.5)) {
+		t.Errorf("ScaleTo = %v, want %v", got, v.Scale(2.5))
+	}
+	// Aliasing dst = v is allowed.
+	want := v.Scale(-3)
+	ScaleTo(v, -3, v)
+	if !bitsEqual(v, want) {
+		t.Error("ScaleTo with dst aliasing v diverged")
+	}
+}
+
+func TestAddSubTo(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	v, w := randVec(7, rng), randVec(7, rng)
+	dst := NewVector(7)
+	if got := AddTo(dst, v, w); !bitsEqual(got, v.Add(w)) {
+		t.Error("AddTo mismatch")
+	}
+	if got := SubTo(dst, v, w); !bitsEqual(got, v.Sub(w)) {
+		t.Error("SubTo mismatch")
+	}
+}
+
+func TestAXPYTo(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	v, w := randVec(11, rng), randVec(11, rng)
+	want := v.Clone().AXPYInPlace(0.7, w)
+	dst := NewVector(11)
+	if got := AXPYTo(dst, v, 0.7, w); !bitsEqual(got, want) {
+		t.Error("AXPYTo mismatch")
+	}
+	// dst aliasing v.
+	vc := v.Clone()
+	AXPYTo(vc, vc, 0.7, w)
+	if !bitsEqual(vc, want) {
+		t.Error("AXPYTo with dst aliasing v diverged")
+	}
+}
+
+// TestMixToMatchesSequential pins the determinism contract: MixTo must be
+// bitwise-identical to the ScaleTo-then-AXPYInPlace formulation it fuses,
+// since Engine.Step's recursion depends on reproducible float order.
+func TestMixToMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const n, k = 13, 5
+	v := randVec(n, rng)
+	ws := make([]float64, k)
+	xs := make([]Vector, k)
+	for j := range xs {
+		ws[j] = rng.Float64()
+		xs[j] = randVec(n, rng)
+	}
+	want := v.Scale(0.31)
+	for j := range xs {
+		want.AXPYInPlace(ws[j], xs[j])
+	}
+	dst := NewVector(n)
+	if got := MixTo(dst, 0.31, v, ws, xs); !bitsEqual(got, want) {
+		t.Errorf("MixTo = %v, want sequential result %v", got, want)
+	}
+	// Zero neighbors degenerates to ScaleTo.
+	if got := MixTo(dst, 2, v, nil, nil); !bitsEqual(got, v.Scale(2)) {
+		t.Error("MixTo with no neighbors != ScaleTo")
+	}
+}
+
+func TestDistInf(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	v, w := randVec(17, rng), randVec(17, rng)
+	if got, want := DistInf(v, w), v.Sub(w).NormInf(); !closeTo(got, want) {
+		t.Errorf("DistInf = %v, want %v", got, want)
+	}
+	if got := DistInf(v, v); got != 0 {
+		t.Errorf("DistInf(v, v) = %v, want 0", got)
+	}
+}
+
+func TestKernelsPanicOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on length mismatch")
+		}
+	}()
+	AddTo(NewVector(3), NewVector(3), NewVector(4))
+}
+
+func TestKernelsAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	v, w := randVec(64, rng), randVec(64, rng)
+	dst := NewVector(64)
+	ws := []float64{0.2, 0.3}
+	xs := []Vector{randVec(64, rng), randVec(64, rng)}
+	if n := testing.AllocsPerRun(100, func() {
+		ScaleTo(dst, 2, v)
+		AddTo(dst, v, w)
+		SubTo(dst, v, w)
+		AXPYTo(dst, v, 3, w)
+		MixTo(dst, 0.5, v, ws, xs)
+		DistInf(v, w)
+	}); n != 0 {
+		t.Errorf("kernels allocated %v times per run, want 0", n)
+	}
+}

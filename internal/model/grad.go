@@ -1,0 +1,135 @@
+package model
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/snapml/snap/internal/dataset"
+	"github.com/snapml/snap/internal/linalg"
+)
+
+// BatchAccumulator is the optional fast-gradient capability: a model that
+// can split its gradient into a batch-independent term plus a sum of
+// per-sample terms accumulated into a caller-owned buffer. GradientTo
+// uses it to compute gradients without allocating and — for large
+// batches — in parallel. All four built-in models implement it.
+type BatchAccumulator interface {
+	Model
+	// RegGradTo overwrites dst with the batch-independent gradient term
+	// (the regularizer ∇r(params); all zeros for unregularized models).
+	RegGradTo(dst, params linalg.Vector)
+	// AccumGrad adds the unscaled per-sample loss-gradient terms of
+	// batch to dst: dst += Σ_s ∇ℓ(params; s). The 1/m mean scaling is
+	// applied once by GradientTo, not per sample. Implementations must
+	// be safe for concurrent calls with disjoint dst buffers.
+	AccumGrad(dst, params linalg.Vector, batch []dataset.Sample)
+}
+
+// GradShardSize is the fixed shard width of the sharded gradient path.
+// The shard decomposition depends only on the batch length — never on
+// the worker count — which is what makes the parallel gradient
+// bitwise-identical to the serial one. It is also the parallelism
+// threshold: batches of at most one shard always run serially.
+const GradShardSize = 256
+
+// GradScratch holds the per-shard partial-sum buffers GradientTo needs.
+// One scratch belongs to one gradient consumer (e.g. one engine) and is
+// reused across calls; the zero value is ready to use.
+type GradScratch struct {
+	partials []linalg.Vector
+}
+
+func (sc *GradScratch) ensure(shards, p int) {
+	if len(sc.partials) > 0 && len(sc.partials[0]) != p {
+		sc.partials = sc.partials[:0]
+	}
+	for len(sc.partials) < shards {
+		sc.partials = append(sc.partials, linalg.NewVector(p))
+	}
+}
+
+// accumParallel computes every shard partial using a pool of worker
+// goroutines pulling shard indices from a shared counter. Which worker
+// computes which shard is scheduling-dependent, but each shard lands in
+// its own buffer, so the subsequent reduction is order-independent.
+func (sc *GradScratch) accumParallel(acc BatchAccumulator, params linalg.Vector, batch []dataset.Sample, shards, workers int) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= shards {
+					return
+				}
+				sc.accumShard(acc, params, batch, k)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func (sc *GradScratch) accumShard(acc BatchAccumulator, params linalg.Vector, batch []dataset.Sample, k int) {
+	lo := k * GradShardSize
+	hi := lo + GradShardSize
+	if hi > len(batch) {
+		hi = len(batch)
+	}
+	buf := sc.partials[k]
+	buf.Fill(0)
+	acc.AccumGrad(buf, params, batch[lo:hi])
+}
+
+// GradientTo computes ∇Loss(params) on batch into dst and returns dst.
+//
+// For models implementing BatchAccumulator the batch is cut into
+// fixed-width shards (GradShardSize samples), each shard's unscaled term
+// sum is accumulated into a dedicated scratch buffer, and the shard
+// partials are combined by a fixed-shape pairwise tree reduction before
+// the 1/m scaling is applied. Because both the shard boundaries and the
+// reduction tree depend only on len(batch), the result is
+// bitwise-identical whether the shards are computed serially or by any
+// number of workers — workers (≤1 = serial) only sets the parallelism
+// cap. Single-shard batches always run serially and allocation-free.
+//
+// Models without the capability fall back to Model.Gradient (one
+// allocation, serial).
+func GradientTo(m Model, dst, params linalg.Vector, batch []dataset.Sample, sc *GradScratch, workers int) linalg.Vector {
+	acc, ok := m.(BatchAccumulator)
+	if !ok {
+		copy(dst, m.Gradient(params, batch))
+		return dst
+	}
+	acc.RegGradTo(dst, params)
+	if len(batch) == 0 {
+		return dst
+	}
+	shards := (len(batch) + GradShardSize - 1) / GradShardSize
+	if sc == nil {
+		sc = &GradScratch{}
+	}
+	sc.ensure(shards, len(dst))
+	if workers > shards {
+		workers = shards
+	}
+	if workers <= 1 {
+		for k := 0; k < shards; k++ {
+			sc.accumShard(acc, params, batch, k)
+		}
+	} else {
+		// Kept out of line so the escaping WaitGroup/counter locals are
+		// only heap-allocated when the parallel path actually runs.
+		sc.accumParallel(acc, params, batch, shards, workers)
+	}
+	// Fixed-shape pairwise reduction over the shard partials. The combine
+	// order is a function of the shard count alone, so worker scheduling
+	// cannot perturb float summation order.
+	for stride := 1; stride < shards; stride *= 2 {
+		for i := 0; i+stride < shards; i += 2 * stride {
+			sc.partials[i].AddInPlace(sc.partials[i+stride])
+		}
+	}
+	return dst.AXPYInPlace(1/float64(len(batch)), sc.partials[0])
+}

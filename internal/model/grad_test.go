@@ -1,0 +1,137 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/snapml/snap/internal/dataset"
+	"github.com/snapml/snap/internal/linalg"
+)
+
+func gradTestBatch(n, features, classes int, seed int64) []dataset.Sample {
+	rng := rand.New(rand.NewSource(seed))
+	batch := make([]dataset.Sample, n)
+	for i := range batch {
+		x := make([]float64, features)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		batch[i] = dataset.Sample{X: x, Label: rng.Intn(classes)}
+	}
+	return batch
+}
+
+func bitsDiffer(v, w linalg.Vector) int {
+	if len(v) != len(w) {
+		return -1
+	}
+	for i := range v {
+		if math.Float64bits(v[i]) != math.Float64bits(w[i]) {
+			return i
+		}
+	}
+	return len(v)
+}
+
+// TestGradientToDeterministicAcrossWorkers is the tentpole determinism
+// guarantee: the sharded parallel gradient must be bitwise-identical to
+// the serial one for every worker count, because the shard decomposition
+// and the pairwise reduction shape depend only on the batch length.
+func TestGradientToDeterministicAcrossWorkers(t *testing.T) {
+	models := []struct {
+		name string
+		m    Model
+	}{
+		{"svm", NewLinearSVM(12)},
+		{"logreg", NewLogisticRegression(12)},
+		{"softmax", NewSoftmaxRegression(12, 4)},
+		{"mlp", NewMLP(12, 6, 4)},
+	}
+	for _, tc := range models {
+		t.Run(tc.name, func(t *testing.T) {
+			// 3.5 shards, so the tree reduction is non-trivial.
+			batch := gradTestBatch(3*GradShardSize+GradShardSize/2, 12, 4, 42)
+			params := tc.m.InitParams(7)
+			p := tc.m.NumParams()
+
+			ref := GradientTo(tc.m, linalg.NewVector(p), params, batch, nil, 1)
+			for _, workers := range []int{2, 3, 8, 64} {
+				var sc GradScratch
+				got := GradientTo(tc.m, linalg.NewVector(p), params, batch, &sc, workers)
+				if at := bitsDiffer(ref, got); at != p {
+					t.Errorf("workers=%d: gradient differs from serial at index %d", workers, at)
+				}
+			}
+			// Model.Gradient is the same computation.
+			if at := bitsDiffer(ref, tc.m.Gradient(params, batch)); at != p {
+				t.Errorf("Gradient differs from GradientTo at index %d", at)
+			}
+		})
+	}
+}
+
+// TestGradientToMatchesNumerical sanity-checks the accumulator refactor
+// against central finite differences (the rescaled summation must still
+// be the same mathematical gradient).
+func TestGradientToMatchesNumerical(t *testing.T) {
+	m := NewLogisticRegression(5)
+	batch := gradTestBatch(40, 5, 2, 3)
+	params := m.InitParams(9)
+	g := m.Gradient(params, batch)
+	const h = 1e-6
+	for i := range params {
+		pp := params.Clone()
+		pp[i] += h
+		pm := params.Clone()
+		pm[i] -= h
+		num := (m.Loss(pp, batch) - m.Loss(pm, batch)) / (2 * h)
+		if math.Abs(num-g[i]) > 1e-5 {
+			t.Errorf("param %d: analytic %g vs numerical %g", i, g[i], num)
+		}
+	}
+}
+
+// TestGradientToEmptyAndFallback covers the degenerate batch and the
+// non-accumulator fallback path.
+func TestGradientToEmptyAndFallback(t *testing.T) {
+	m := NewLinearSVM(6)
+	params := m.InitParams(1)
+	g := GradientTo(m, linalg.NewVector(6), params, nil, nil, 4)
+	want := params.Scale(m.Lambda)
+	if at := bitsDiffer(g, want); at != 6 {
+		t.Errorf("empty-batch gradient differs from λw at %d", at)
+	}
+
+	// A model that does not implement BatchAccumulator falls back to
+	// Model.Gradient.
+	fb := plainModel{m}
+	batch := gradTestBatch(10, 6, 2, 5)
+	got := GradientTo(fb, linalg.NewVector(6), params, batch, nil, 4)
+	if at := bitsDiffer(got, fb.Gradient(params, batch)); at != 6 {
+		t.Errorf("fallback gradient differs at %d", at)
+	}
+}
+
+// plainModel hides LinearSVM's BatchAccumulator methods.
+type plainModel struct{ *LinearSVM }
+
+func (p plainModel) RegGradTo() {}
+func (p plainModel) AccumGrad() {}
+
+// TestGradientToSerialAllocFree pins the hot-path budget: with a warm
+// scratch, the serial sharded gradient of an accumulator model performs
+// zero allocations.
+func TestGradientToSerialAllocFree(t *testing.T) {
+	m := NewLinearSVM(24)
+	params := m.InitParams(2)
+	batch := gradTestBatch(2*GradShardSize, 24, 2, 6)
+	dst := linalg.NewVector(24)
+	var sc GradScratch
+	GradientTo(m, dst, params, batch, &sc, 1) // warm the scratch
+	if n := testing.AllocsPerRun(50, func() {
+		GradientTo(m, dst, params, batch, &sc, 1)
+	}); n != 0 {
+		t.Errorf("serial GradientTo allocated %v times per run, want 0", n)
+	}
+}

@@ -19,7 +19,10 @@ type LogisticRegression struct {
 	Lambda   float64 // L2 strength on the weights (not the bias); default 1e-3
 }
 
-var _ Model = (*LogisticRegression)(nil)
+var (
+	_ Model            = (*LogisticRegression)(nil)
+	_ BatchAccumulator = (*LogisticRegression)(nil)
+)
 
 // NewLogisticRegression returns a model for d features with default
 // regularization.
@@ -62,27 +65,32 @@ func (m *LogisticRegression) Loss(p linalg.Vector, batch []dataset.Sample) float
 
 // Gradient implements Model.
 func (m *LogisticRegression) Gradient(p linalg.Vector, batch []dataset.Sample) linalg.Vector {
+	return GradientTo(m, linalg.NewVector(m.NumParams()), p, batch, nil, 1)
+}
+
+// RegGradTo implements BatchAccumulator: λw on the weights, 0 on the
+// bias.
+func (m *LogisticRegression) RegGradTo(dst, p linalg.Vector) {
 	m.checkDim(p)
-	w, b := p[:m.Features], p[m.Features]
-	g := linalg.NewVector(m.NumParams())
 	for j := 0; j < m.Features; j++ {
-		g[j] = m.lambda() * w[j]
+		dst[j] = m.lambda() * p[j]
 	}
-	if len(batch) == 0 {
-		return g
-	}
-	inv := 1 / float64(len(batch))
+	dst[m.Features] = 0
+}
+
+// AccumGrad implements BatchAccumulator (unscaled per-sample terms).
+func (m *LogisticRegression) AccumGrad(dst, p linalg.Vector, batch []dataset.Sample) {
+	w, b := p[:m.Features], p[m.Features]
 	for _, s := range batch {
 		z := dot(w, s.X) + b
 		// d/dz log(1+exp(-yz)) = -y·σ(-yz)
 		y := signedLabel(s.Label)
-		coeff := -y * sigmoid(-y*z) * inv
+		coeff := -y * sigmoid(-y*z)
 		for j, xj := range s.X {
-			g[j] += coeff * xj
+			dst[j] += coeff * xj
 		}
-		g[m.Features] += coeff
+		dst[m.Features] += coeff
 	}
-	return g
 }
 
 // Predict implements Model.

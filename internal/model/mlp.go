@@ -17,7 +17,10 @@ type MLP struct {
 	In, Hidden, Out int
 }
 
-var _ Model = (*MLP)(nil)
+var (
+	_ Model            = (*MLP)(nil)
+	_ BatchAccumulator = (*MLP)(nil)
+)
 
 // NewMLP returns the paper's 784-30-10 network when called as
 // NewMLP(784, 30, 10).
@@ -84,13 +87,19 @@ func (m *MLP) Loss(p linalg.Vector, batch []dataset.Sample) float64 {
 
 // Gradient implements Model via backpropagation.
 func (m *MLP) Gradient(p linalg.Vector, batch []dataset.Sample) linalg.Vector {
+	return GradientTo(m, linalg.NewVector(m.NumParams()), p, batch, nil, 1)
+}
+
+// RegGradTo implements BatchAccumulator: the MLP is unregularized.
+func (m *MLP) RegGradTo(dst, p linalg.Vector) {
 	m.checkDim(p)
-	g := linalg.NewVector(m.NumParams())
-	if len(batch) == 0 {
-		return g
-	}
+	dst.Fill(0)
+}
+
+// AccumGrad implements BatchAccumulator (unscaled per-sample backprop
+// terms; GradientTo applies the 1/m).
+func (m *MLP) AccumGrad(dst, p linalg.Vector, batch []dataset.Sample) {
 	w1o, b1o, w2o, b2o := m.offsets()
-	inv := 1 / float64(len(batch))
 	for _, s := range batch {
 		hidden, probs := m.forward(p, s.X)
 		// Output delta: softmax+CE gives δ_o = p_o − 1{o=label}.
@@ -107,22 +116,21 @@ func (m *MLP) Gradient(p linalg.Vector, batch []dataset.Sample) linalg.Vector {
 			deltaHidden[h] = back * hidden[h] * (1 - hidden[h])
 		}
 		for o := 0; o < m.Out; o++ {
-			d := deltaOut[o] * inv
-			g[b2o+o] += d
+			d := deltaOut[o]
+			dst[b2o+o] += d
 			for h, hv := range hidden {
-				g[w2o+o*m.Hidden+h] += d * hv
+				dst[w2o+o*m.Hidden+h] += d * hv
 			}
 		}
 		for h := 0; h < m.Hidden; h++ {
-			d := deltaHidden[h] * inv
-			g[b1o+h] += d
-			grow := g[w1o+h*m.In : w1o+(h+1)*m.In]
+			d := deltaHidden[h]
+			dst[b1o+h] += d
+			grow := dst[w1o+h*m.In : w1o+(h+1)*m.In]
 			for i, xi := range s.X {
 				grow[i] += d * xi
 			}
 		}
 	}
-	return g
 }
 
 // Predict implements Model: argmax over output probabilities.

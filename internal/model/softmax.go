@@ -20,7 +20,10 @@ type SoftmaxRegression struct {
 	Lambda   float64 // L2 strength on weights; default 1e-4
 }
 
-var _ Model = (*SoftmaxRegression)(nil)
+var (
+	_ Model            = (*SoftmaxRegression)(nil)
+	_ BatchAccumulator = (*SoftmaxRegression)(nil)
+)
 
 // NewSoftmaxRegression returns a model for the given shape with default
 // regularization.
@@ -82,16 +85,26 @@ func (m *SoftmaxRegression) Loss(p linalg.Vector, batch []dataset.Sample) float6
 
 // Gradient implements Model.
 func (m *SoftmaxRegression) Gradient(p linalg.Vector, batch []dataset.Sample) linalg.Vector {
+	return GradientTo(m, linalg.NewVector(m.NumParams()), p, batch, nil, 1)
+}
+
+// RegGradTo implements BatchAccumulator: λW on the weights, 0 on the
+// biases.
+func (m *SoftmaxRegression) RegGradTo(dst, p linalg.Vector) {
 	m.checkDim(p)
-	g := linalg.NewVector(m.NumParams())
-	for i := 0; i < m.Classes*m.Features; i++ {
-		g[i] = m.lambda() * p[i]
-	}
-	if len(batch) == 0 {
-		return g
-	}
+	l := m.lambda()
 	biasOff := m.Classes * m.Features
-	inv := 1 / float64(len(batch))
+	for i := 0; i < biasOff; i++ {
+		dst[i] = l * p[i]
+	}
+	for i := biasOff; i < len(dst); i++ {
+		dst[i] = 0
+	}
+}
+
+// AccumGrad implements BatchAccumulator (unscaled per-sample terms).
+func (m *SoftmaxRegression) AccumGrad(dst, p linalg.Vector, batch []dataset.Sample) {
+	biasOff := m.Classes * m.Features
 	for _, s := range batch {
 		probs := softmax(m.logits(p, s.X))
 		for c := 0; c < m.Classes; c++ {
@@ -99,15 +112,13 @@ func (m *SoftmaxRegression) Gradient(p linalg.Vector, batch []dataset.Sample) li
 			if c == s.Label {
 				delta--
 			}
-			delta *= inv
-			g[biasOff+c] += delta
-			grow := g[c*m.Features : (c+1)*m.Features]
+			dst[biasOff+c] += delta
+			grow := dst[c*m.Features : (c+1)*m.Features]
 			for j, xj := range s.X {
 				grow[j] += delta * xj
 			}
 		}
 	}
-	return g
 }
 
 // Predict implements Model: argmax class score.

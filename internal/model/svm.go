@@ -25,7 +25,10 @@ type LinearSVM struct {
 	Lambda float64
 }
 
-var _ Model = (*LinearSVM)(nil)
+var (
+	_ Model            = (*LinearSVM)(nil)
+	_ BatchAccumulator = (*LinearSVM)(nil)
+)
 
 // NewLinearSVM returns a LinearSVM for d features with the default
 // regularization.
@@ -64,22 +67,27 @@ func (m *LinearSVM) Loss(w linalg.Vector, batch []dataset.Sample) float64 {
 
 // Gradient implements Model: λw − (2/m)Σ max(0, 1−y·w·x)·y·x.
 func (m *LinearSVM) Gradient(w linalg.Vector, batch []dataset.Sample) linalg.Vector {
+	return GradientTo(m, linalg.NewVector(m.Features), w, batch, nil, 1)
+}
+
+// RegGradTo implements BatchAccumulator: ∇(λ/2)||w||² = λw.
+func (m *LinearSVM) RegGradTo(dst, w linalg.Vector) {
 	m.checkDim(w)
-	g := w.Scale(m.lambda())
-	if len(batch) == 0 {
-		return g
-	}
-	inv := 1 / float64(len(batch))
+	linalg.ScaleTo(dst, m.lambda(), w)
+}
+
+// AccumGrad implements BatchAccumulator: dst −= Σ 2·max(0, 1−y·w·x)·y·x
+// (unscaled; GradientTo applies the 1/m).
+func (m *LinearSVM) AccumGrad(dst, w linalg.Vector, batch []dataset.Sample) {
 	for _, s := range batch {
 		y := signedLabel(s.Label)
 		if margin := y * dot(w, s.X); margin < 1 {
-			coeff := 2 * (1 - margin) * y * inv
+			coeff := 2 * (1 - margin) * y
 			for j, xj := range s.X {
-				g[j] -= coeff * xj
+				dst[j] -= coeff * xj
 			}
 		}
 	}
-	return g
 }
 
 // Predict implements Model: positive margin means class 1.

@@ -45,7 +45,13 @@ type Sim struct {
 	downLinks  map[graph.Edge]bool
 	inboxes    []map[int][]byte // inboxes[to][from] = frame (neighbor traffic)
 	uniInboxes []map[int][]byte // unicast traffic, same shape
-	dropped    int64            // frames lost to failed links
+	// inboxSpare/uniSpare hold each node's off-duty inbox map: Collect
+	// swaps the active map with the (cleared) spare instead of
+	// allocating a fresh map per call, so the steady-state round loop
+	// reuses two maps per node forever.
+	inboxSpare []map[int][]byte
+	uniSpare   []map[int][]byte
+	dropped    int64 // frames lost to failed links
 }
 
 // NewSim builds a simulated network over topo. ledger may be nil, in which
@@ -118,6 +124,11 @@ func (s *Sim) BeginRound(r int) {
 // If the link is down this round the frame is dropped silently (the
 // sender cannot tell — as with a congested wireless link) but the cost is
 // not charged, since the frame never crossed the link.
+//
+// The frame is aliased, not copied: the sender must not rewrite the
+// buffer until the round's receivers have collected and consumed it,
+// which the lockstep protocol (send phase → barrier → collect phase)
+// guarantees.
 func (s *Sim) Send(from, to int, frame []byte) error {
 	if !s.topo.HasEdge(from, to) {
 		return fmt.Errorf("transport: %d→%d are not neighbors", from, to)
@@ -150,21 +161,29 @@ func (s *Sim) Unicast(from, to int, frame []byte) error {
 }
 
 // Collect drains node i's neighbor inbox for the current round: a map from
-// sender id to frame.
+// sender id to frame. The returned map is owned by the Sim and is reused:
+// it stays valid only until node i's next Collect call, matching the
+// lockstep round protocol where each round's inbox is consumed before the
+// next begins.
 func (s *Sim) Collect(i int) map[int][]byte {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := s.inboxes[i]
-	s.inboxes[i] = make(map[int][]byte)
+	spare := s.inboxSpare[i]
+	clear(spare)
+	s.inboxes[i], s.inboxSpare[i] = spare, out
 	return out
 }
 
-// CollectUnicast drains node i's unicast inbox for the current round.
+// CollectUnicast drains node i's unicast inbox for the current round,
+// with the same reuse contract as Collect.
 func (s *Sim) CollectUnicast(i int) map[int][]byte {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := s.uniInboxes[i]
-	s.uniInboxes[i] = make(map[int][]byte)
+	spare := s.uniSpare[i]
+	clear(spare)
+	s.uniInboxes[i], s.uniSpare[i] = spare, out
 	return out
 }
 
@@ -180,11 +199,22 @@ func (s *Sim) resetInboxes() {
 
 func (s *Sim) resetInboxesLocked() {
 	n := s.topo.N()
-	s.inboxes = make([]map[int][]byte, n)
-	s.uniInboxes = make([]map[int][]byte, n)
+	if s.inboxes == nil {
+		s.inboxes = make([]map[int][]byte, n)
+		s.uniInboxes = make([]map[int][]byte, n)
+		s.inboxSpare = make([]map[int][]byte, n)
+		s.uniSpare = make([]map[int][]byte, n)
+		for i := 0; i < n; i++ {
+			s.inboxes[i] = make(map[int][]byte)
+			s.uniInboxes[i] = make(map[int][]byte)
+			s.inboxSpare[i] = make(map[int][]byte)
+			s.uniSpare[i] = make(map[int][]byte)
+		}
+		return
+	}
 	for i := 0; i < n; i++ {
-		s.inboxes[i] = make(map[int][]byte)
-		s.uniInboxes[i] = make(map[int][]byte)
+		clear(s.inboxes[i])
+		clear(s.uniInboxes[i])
 	}
 }
 

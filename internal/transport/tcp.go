@@ -605,7 +605,7 @@ func (p *Peer) readLoop(from int, pc *peerConn) {
 		if size > maxFrameBytes {
 			return
 		}
-		frame := make([]byte, size)
+		frame := getFrameBuf(int(size))
 		if _, err := io.ReadFull(conn, frame); err != nil {
 			return
 		}

@@ -53,6 +53,12 @@ type PeerConfig struct {
 	APE APEConfig
 	// BatchSize limits per-iteration gradients (0 = full).
 	BatchSize int
+	// GradWorkers caps the goroutines used for the local gradient
+	// (≤1 = serial). Any value produces bitwise-identical results.
+	GradWorkers int
+	// Float32Wire transmits parameter values as float32, halving value
+	// bytes on the wire. All peers must agree on this setting.
+	Float32Wire bool
 	// Seed derives the shared initial parameters; it must match across
 	// nodes.
 	Seed int64
@@ -145,6 +151,8 @@ func NewPeerNode(cfg PeerConfig) (*PeerNode, error) {
 			WRow:           row,
 			Neighbors:      cfg.Topology.Neighbors(cfg.ID),
 			BatchSize:      cfg.BatchSize,
+			GradWorkers:    cfg.GradWorkers,
+			Float32Wire:    cfg.Float32Wire,
 			Policy:         cfg.Policy,
 			APE:            cfg.APE,
 			RefreshEvery:   cfg.RefreshEvery,
@@ -228,6 +236,8 @@ func newElasticPeerNode(cfg PeerConfig) (*PeerNode, error) {
 			WRow:         plan.WRow,
 			Neighbors:    plan.Neighbors,
 			BatchSize:    cfg.BatchSize,
+			GradWorkers:  cfg.GradWorkers,
+			Float32Wire:  cfg.Float32Wire,
 			Policy:       cfg.Policy,
 			APE:          cfg.APE,
 			RefreshEvery: cfg.RefreshEvery,

@@ -174,6 +174,10 @@ type Config struct {
 	WeightOpt WeightOptions
 	// BatchSize limits per-iteration gradients (0 = full batch).
 	BatchSize int
+	// GradWorkers caps the goroutines each node uses for its gradient
+	// (≤1 = serial). Any value produces bitwise-identical results; this
+	// only trades wall-clock time for CPU on large batches.
+	GradWorkers int
 	// MaxIterations caps the run (default 500).
 	MaxIterations int
 	// Convergence sets the stopping rule.
@@ -213,6 +217,7 @@ func Train(cfg Config) (*Result, error) {
 		OptimizeWeights: cfg.OptimizeWeights,
 		WeightOpt:       cfg.WeightOpt,
 		BatchSize:       cfg.BatchSize,
+		GradWorkers:     cfg.GradWorkers,
 		MaxIterations:   cfg.MaxIterations,
 		Convergence:     cfg.Convergence,
 		EvalEvery:       cfg.EvalEvery,
