@@ -36,13 +36,15 @@ func main() {
 		alpha        = flag.Float64("alpha", 0.1, "EXTRA step size assumed by the convergence bound (match the nodes' -alpha)")
 		verbose      = flag.Bool("verbose", false, "log joins, leaves, evictions, and epochs")
 
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /snapshot and /debug/pprof on this address (empty = off)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /snapshot and /trace on this address (empty = off)")
 		eventsPath  = flag.String("events", "", "append membership/epoch events as JSON lines to this file (\"-\" = stderr; empty = off)")
+		pprofOn     = flag.Bool("pprof", true, "also mount /debug/pprof on -metrics-addr; disable on any address reachable beyond the operator (profiles expose memory contents)")
+		traceRounds = flag.Int("trace-rounds", 0, "aggregate the round-trace digests nodes push on heartbeats, keeping this many merged rounds at /trace, and run NTP-style clock sync against members (0 = off)")
 	)
 	flag.Parse()
 
 	if err := run(*listen, *minMembers, *attachDegree, *applyMargin, *hbTimeout,
-		*alpha, *verbose, *metricsAddr, *eventsPath); err != nil {
+		*alpha, *verbose, *metricsAddr, *eventsPath, *pprofOn, *traceRounds); err != nil {
 		fmt.Fprintln(os.Stderr, "snapcoord:", err)
 		os.Exit(1)
 	}
@@ -60,7 +62,7 @@ func closeAnd(err *error, what string, close func() error) {
 
 func run(listen string, minMembers, attachDegree, applyMargin int,
 	hbTimeout time.Duration, alpha float64, verbose bool,
-	metricsAddr, eventsPath string) (err error) {
+	metricsAddr, eventsPath string, pprofOn bool, traceRounds int) (err error) {
 	var logf func(format string, args ...any)
 	if verbose {
 		logf = func(format string, args ...any) {
@@ -99,6 +101,7 @@ func run(listen string, minMembers, attachDegree, applyMargin int,
 		Bound:            snap.BoundParams{Alpha: alpha},
 		Logf:             logf,
 		Obs:              observer,
+		TraceRounds:      traceRounds,
 	})
 	if err != nil {
 		return err
@@ -107,12 +110,21 @@ func run(listen string, minMembers, attachDegree, applyMargin int,
 	fmt.Printf("coordinator listening on %s (min members %d)\n", coord.Addr(), minMembers)
 
 	if metricsAddr != "" {
-		srv, addr, err := snap.ServeObservability(metricsAddr, -1, reg, eventLog)
+		srv, addr, err := snap.ServeObservabilityWith(metricsAddr, snap.ObserveConfig{
+			Node:         -1,
+			Reg:          reg,
+			Log:          eventLog,
+			PprofEnabled: pprofOn,
+			Trace:        snap.ClusterTraceHandler(coord.Trace()),
+		})
 		if err != nil {
 			return fmt.Errorf("start metrics server: %w", err)
 		}
 		defer closeAnd(&err, "close metrics server", srv.Close)
 		fmt.Printf("coordinator metrics on http://%s/metrics\n", addr)
+		if traceRounds > 0 {
+			fmt.Printf("coordinator cluster trace on http://%s/trace\n", addr)
+		}
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -63,8 +63,10 @@ func main() {
 		fullSendRound0 = flag.Bool("full-send-round0", false, "broadcast full parameters in round 0 (required for non-identical inits)")
 		verbose        = flag.Bool("verbose", false, "log tolerated faults (failed sends, reconnects, refreshes)")
 
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus text), /snapshot (JSON) and /debug/pprof on this address while training (e.g. 127.0.0.1:9090; empty = off)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus text), /snapshot (JSON) and /trace on this address while training (e.g. 127.0.0.1:9090; empty = off)")
 		eventsPath  = flag.String("events", "", "append round-lifecycle events as JSON lines to this file (\"-\" = stderr; empty = off)")
+		pprofOn     = flag.Bool("pprof", true, "also mount /debug/pprof on -metrics-addr; disable on any address reachable beyond the operator (profiles expose memory contents)")
+		traceRounds = flag.Int("trace-rounds", 0, "record per-round distributed traces in a ring of this many rounds, served at /trace and pushed to the coordinator in elastic mode (0 = off)")
 
 		coordinator = flag.String("coordinator", "", "coordinator control-plane address; enables elastic mode (-id/-peers/-topology are then ignored)")
 		joinWait    = flag.Duration("join", 2*time.Minute, "elastic mode: how long to wait for admission and the founding quorum")
@@ -84,6 +86,8 @@ func main() {
 			Verbose:        *verbose,
 			MetricsAddr:    *metricsAddr,
 			EventsPath:     *eventsPath,
+			Pprof:          *pprofOn,
+			TraceRounds:    *traceRounds,
 			Coordinator:    *coordinator,
 			JoinWait:       *joinWait,
 			ListenAddr:     *listenAddr,
@@ -105,6 +109,8 @@ type faultOpts struct {
 	Verbose        bool
 	MetricsAddr    string
 	EventsPath     string
+	Pprof          bool
+	TraceRounds    int
 
 	// Elastic mode (all unused unless Coordinator is set).
 	Coordinator string
@@ -154,6 +160,30 @@ func observability(fo faultOpts) (*snap.Observer, *snap.MetricsRegistry, *snap.E
 		}
 	}
 	return snap.NewObserver(reg, eventLog), reg, eventLog, cleanup, nil
+}
+
+// serveNodeObservability starts the HTTP observability endpoint for a
+// built node: /metrics and /snapshot always, the node's own round-trace
+// digests at /trace (404 until -trace-rounds enables tracing), and
+// /debug/pprof only while the operator keeps -pprof on. Returns the
+// server's close function.
+func serveNodeObservability(fo faultOpts, id int, reg *snap.MetricsRegistry,
+	eventLog *snap.EventLog, node *snap.PeerNode) (func() error, error) {
+	srv, addr, err := snap.ServeObservabilityWith(fo.MetricsAddr, snap.ObserveConfig{
+		Node:         id,
+		Reg:          reg,
+		Log:          eventLog,
+		PprofEnabled: fo.Pprof,
+		Trace:        snap.TraceHandler(node.Tracer()),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("start metrics server: %w", err)
+	}
+	fmt.Printf("node %d metrics on http://%s/metrics\n", id, addr)
+	if fo.TraceRounds > 0 {
+		fmt.Printf("node %d trace on http://%s/trace\n", id, addr)
+	}
+	return srv.Close, nil
 }
 
 // closeAnd runs close when the surrounding function returns and records
@@ -214,20 +244,13 @@ func run(id int, peersArg, topology string, degree float64, rounds int,
 		}
 	}
 
-	// Observability: metrics registry + JSONL event log, served over HTTP.
+	// Observability: metrics registry + JSONL event log, served over HTTP
+	// once the node (and therefore its tracer) exists.
 	observer, reg, eventLog, cleanup, err := observability(fo)
 	if err != nil {
 		return err
 	}
 	defer closeAnd(&err, "close -events file", cleanup)
-	if fo.MetricsAddr != "" {
-		srv, addr, err := snap.ServeObservability(fo.MetricsAddr, id, reg, eventLog)
-		if err != nil {
-			return fmt.Errorf("start metrics server: %w", err)
-		}
-		defer closeAnd(&err, "close metrics server", srv.Close)
-		fmt.Printf("node %d metrics on http://%s/metrics\n", id, addr)
-	}
 
 	model := snap.NewLinearSVM(ds.NumFeature)
 	node, err := snap.NewPeerNode(snap.PeerConfig{
@@ -246,11 +269,19 @@ func run(id int, peersArg, topology string, degree float64, rounds int,
 		ConnectTimeout: fo.ConnectTimeout,
 		Logf:           logf,
 		Obs:            observer,
+		TraceRounds:    fo.TraceRounds,
 	})
 	if err != nil {
 		return err
 	}
 	defer closeAnd(&err, "close node", node.Close)
+	if fo.MetricsAddr != "" {
+		closeSrv, err := serveNodeObservability(fo, id, reg, eventLog, node)
+		if err != nil {
+			return err
+		}
+		defer closeAnd(&err, "close metrics server", closeSrv)
+	}
 
 	neighbors := make(map[int]string)
 	for _, j := range topo.Neighbors(id) {
@@ -340,6 +371,7 @@ func runElastic(rounds int, alpha float64, policyName string,
 		ConnectTimeout:  fo.ConnectTimeout,
 		Logf:            logf,
 		Obs:             observer,
+		TraceRounds:     fo.TraceRounds,
 	})
 	if err != nil {
 		return err
@@ -350,12 +382,11 @@ func runElastic(rounds int, alpha float64, policyName string,
 		id, node.Epoch(), node.Addr(), rounds)
 
 	if fo.MetricsAddr != "" {
-		srv, addr, err := snap.ServeObservability(fo.MetricsAddr, id, reg, eventLog)
+		closeSrv, err := serveNodeObservability(fo, id, reg, eventLog, node)
 		if err != nil {
-			return fmt.Errorf("start metrics server: %w", err)
+			return err
 		}
-		defer closeAnd(&err, "close metrics server", srv.Close)
-		fmt.Printf("node %d metrics on http://%s/metrics\n", id, addr)
+		defer closeAnd(&err, "close metrics server", closeSrv)
 	}
 
 	start := time.Now()

@@ -1,0 +1,340 @@
+// Command snaptrace renders cluster-wide SNAP round traces: per-round
+// ASCII timelines with straggler verdicts and communication savings, and
+// an optional Chrome trace_event export for chrome://tracing / Perfetto.
+//
+// Input is JSONL in either of the two shapes the cluster serves:
+//
+//   - merged ClusterRound lines from a coordinator's /trace endpoint
+//     (snapcoord -trace-rounds N -metrics-addr ...), or
+//   - raw RoundDigest lines from one or more node /trace endpoints
+//     (snapnode -trace-rounds N -metrics-addr ...); snaptrace merges
+//     them locally with the same aggregator the coordinator uses.
+//
+// Read live or from a file:
+//
+//	snaptrace -url http://127.0.0.1:9100/trace
+//	curl -s http://127.0.0.1:9090/trace http://127.0.0.1:9091/trace > nodes.jsonl
+//	snaptrace -in nodes.jsonl -chrome trace.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/snapml/snap"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "", "read rounds from this JSONL file (\"-\" = stdin): coordinator ClusterRound lines or node RoundDigest lines")
+		url    = flag.String("url", "", "scrape this live /trace endpoint instead of -in (e.g. http://127.0.0.1:9100/trace)")
+		rounds = flag.Int("rounds", 8, "render at most the last N rounds")
+		width  = flag.Int("width", 72, "timeline width in columns")
+		chrome = flag.String("chrome", "", "also write the rounds as Chrome trace_event JSON to this file (open in chrome://tracing or Perfetto)")
+	)
+	flag.Parse()
+	if err := run(*in, *url, *rounds, *width, *chrome, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "snaptrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, url string, maxRounds, width int, chromePath string, w io.Writer) error {
+	var src io.ReadCloser
+	switch {
+	case in != "" && url != "":
+		return fmt.Errorf("-in and -url are mutually exclusive")
+	case in == "-":
+		src = io.NopCloser(os.Stdin)
+	case in != "":
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		src = f
+	case url != "":
+		resp, err := http.Get(url)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return fmt.Errorf("GET %s: %s", url, resp.Status)
+		}
+		src = resp.Body
+	default:
+		return fmt.Errorf("need -in FILE or -url http://host/trace")
+	}
+	defer src.Close()
+
+	rounds, err := readRounds(src)
+	if err != nil {
+		return err
+	}
+	if len(rounds) == 0 {
+		return fmt.Errorf("no rounds in input")
+	}
+	if maxRounds > 0 && len(rounds) > maxRounds {
+		rounds = rounds[len(rounds)-maxRounds:]
+	}
+
+	fmt.Fprintln(w, "phases: B build  E encode  S broadcast  G gather  D decode  I integrate   (* = straggler)")
+	var sent, full int64
+	for _, cr := range rounds {
+		renderRound(w, cr, width)
+		sent += cr.BytesSent
+		full += cr.BytesFullSend
+	}
+	if full > 0 {
+		fmt.Fprintf(w, "total over %d rounds: sent %d B of %d B full-send baseline (saved %.1f%%)\n",
+			len(rounds), sent, full, 100*float64(full-sent)/float64(full))
+	}
+
+	if chromePath != "" {
+		data, err := json.MarshalIndent(chromeTrace(rounds), "", " ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(chromePath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %d rounds as Chrome trace events to %s\n", len(rounds), chromePath)
+	}
+	return nil
+}
+
+// readRounds parses JSONL input: ClusterRound lines are taken as-is;
+// RoundDigest lines (no "nodes" array) are merged locally through a
+// TraceAggregator, so the tool accepts concatenated scrapes of several
+// node endpoints. Rounds come back in ascending order.
+func readRounds(r io.Reader) ([]snap.ClusterRound, error) {
+	var (
+		merged  []snap.ClusterRound
+		agg     = snap.NewTraceAggregator(0)
+		digests = 0
+		line    = 0
+	)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		// A ClusterRound carries a "nodes" array; a RoundDigest does not.
+		var probe struct {
+			Nodes json.RawMessage `json:"nodes"`
+		}
+		if err := json.Unmarshal([]byte(text), &probe); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		if probe.Nodes != nil {
+			var cr snap.ClusterRound
+			if err := json.Unmarshal([]byte(text), &cr); err != nil {
+				return nil, fmt.Errorf("line %d: %w", line, err)
+			}
+			merged = append(merged, cr)
+			continue
+		}
+		var d snap.RoundDigest
+		if err := json.Unmarshal([]byte(text), &d); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		agg.Add(d)
+		digests++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if digests > 0 {
+		for _, round := range agg.Rounds() {
+			if cr, ok := agg.Round(round); ok {
+				merged = append(merged, cr)
+			}
+		}
+	}
+	return merged, nil
+}
+
+// phaseGlyphs maps pipeline phases to the single letters the timeline is
+// drawn with, in pipeline order so later phases overwrite earlier ones on
+// shared columns.
+var phaseGlyphs = []struct {
+	name  string
+	glyph byte
+}{
+	{snap.SpanBuild, 'B'},
+	{snap.SpanEncode, 'E'},
+	{snap.SpanBroadcast, 'S'},
+	{snap.SpanGather, 'G'},
+	{snap.SpanDecode, 'D'},
+	{snap.SpanIntegrate, 'I'},
+}
+
+// renderRound draws one merged round: a summary line, one timeline row
+// per reporting node (all rows share the round's reference-clock time
+// axis), missing members, and the cross-node critical path.
+func renderRound(w io.Writer, cr snap.ClusterRound, width int) {
+	if width < 16 {
+		width = 16
+	}
+	span := cr.EndUnixNanos - cr.StartUnixNanos
+	if span <= 0 {
+		span = 1
+	}
+	fmt.Fprintf(w, "round %d  %v  nodes %d/%d",
+		cr.Round, time.Duration(span).Round(time.Microsecond),
+		len(cr.Nodes), len(cr.Nodes)+len(cr.Missing))
+	if cr.Straggler >= 0 {
+		fmt.Fprintf(w, "  straggler node %d (+%v)",
+			cr.Straggler, time.Duration(cr.StragglerLagNanos).Round(time.Microsecond))
+	}
+	if cr.BytesFullSend > 0 {
+		fmt.Fprintf(w, "  sent %d B of %d B full (saved %.1f%%)",
+			cr.BytesSent, cr.BytesFullSend,
+			100*float64(cr.BytesSaved())/float64(cr.BytesFullSend))
+	}
+	fmt.Fprintln(w)
+
+	col := func(ns int64) int {
+		c := int(int64(width) * (ns - cr.StartUnixNanos) / span)
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	for _, nr := range cr.Nodes {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, pg := range phaseGlyphs {
+			p, ok := nr.Digest.Phase(pg.name)
+			if !ok {
+				continue
+			}
+			c0 := col(p.StartUnixNanos - nr.OffsetNanos)
+			c1 := col(p.EndUnixNanos - nr.OffsetNanos)
+			for c := c0; c <= c1; c++ {
+				row[c] = pg.glyph
+			}
+		}
+		marker := ' '
+		if nr.Digest.Node == cr.Straggler {
+			marker = '*'
+		}
+		fmt.Fprintf(w, " %cnode %-3d |%s|\n", marker, nr.Digest.Node, row)
+	}
+	for _, m := range cr.Missing {
+		fmt.Fprintf(w, "  node %-3d (no digest this round)\n", m)
+	}
+	if len(cr.CriticalPath) > 0 {
+		steps := make([]string, len(cr.CriticalPath))
+		for i, s := range cr.CriticalPath {
+			steps[i] = fmt.Sprintf("node%d:%s", s.Node, s.Span)
+		}
+		fmt.Fprintf(w, "  critical path: %s\n", strings.Join(steps, " -> "))
+	}
+}
+
+// chromeEvent is one entry of the Chrome trace_event format (the JSON
+// array flavor; see the trace-event spec). ts and dur are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant-event scope ("t" = thread)
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the trace_event container object.
+type chromeFile struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// chromeTrace converts merged rounds to Chrome trace events: one process
+// per node (phases on thread 0, compute sub-spans on thread 1, received
+// frames as instant events), plus a synthetic "cluster" process carrying
+// the per-round envelope with the straggler verdict in its args.
+func chromeTrace(rounds []snap.ClusterRound) chromeFile {
+	const clusterPid = 9999 // synthetic pid for round envelopes
+	var base int64
+	for _, cr := range rounds {
+		if cr.StartUnixNanos != 0 && (base == 0 || cr.StartUnixNanos < base) {
+			base = cr.StartUnixNanos
+		}
+	}
+	us := func(ns int64) float64 { return float64(ns-base) / 1e3 }
+
+	var events []chromeEvent
+	named := map[int]bool{}
+	name := func(pid int, label string) {
+		if !named[pid] {
+			named[pid] = true
+			events = append(events, chromeEvent{
+				Name: "process_name", Ph: "M", Pid: pid,
+				Args: map[string]any{"name": label},
+			})
+		}
+	}
+	name(clusterPid, "cluster")
+	for _, cr := range rounds {
+		events = append(events, chromeEvent{
+			Name: fmt.Sprintf("round %d", cr.Round), Cat: "round", Ph: "X",
+			Ts: us(cr.StartUnixNanos), Dur: float64(cr.EndUnixNanos-cr.StartUnixNanos) / 1e3,
+			Pid: clusterPid,
+			Args: map[string]any{
+				"straggler":       cr.Straggler,
+				"straggler_lag_s": float64(cr.StragglerLagNanos) / 1e9,
+				"completeness":    cr.Completeness,
+				"bytes_sent":      cr.BytesSent,
+				"bytes_full_send": cr.BytesFullSend,
+			},
+		})
+		for _, nr := range cr.Nodes {
+			d, off := nr.Digest, nr.OffsetNanos
+			name(d.Node, fmt.Sprintf("node %d", d.Node))
+			for _, p := range d.Phases {
+				events = append(events, chromeEvent{
+					Name: p.Name, Cat: "phase", Ph: "X",
+					Ts: us(p.StartUnixNanos - off), Dur: float64(p.EndUnixNanos-p.StartUnixNanos) / 1e3,
+					Pid: d.Node, Tid: 0,
+					Args: map[string]any{"round": d.Round},
+				})
+			}
+			for _, s := range d.Spans {
+				events = append(events, chromeEvent{
+					Name: s.Name, Cat: "span", Ph: "X",
+					Ts: us(s.StartUnixNanos - off), Dur: float64(s.EndUnixNanos-s.StartUnixNanos) / 1e3,
+					Pid: d.Node, Tid: 1,
+					Args: map[string]any{"round": d.Round},
+				})
+			}
+			for _, r := range d.Recvs {
+				events = append(events, chromeEvent{
+					Name: fmt.Sprintf("recv<-%d", r.From), Cat: "recv", Ph: "i", S: "t",
+					Ts: us(r.RecvUnixNanos - off), Pid: d.Node, Tid: 0,
+					Args: map[string]any{
+						"round": d.Round, "from": r.From, "bytes": r.Bytes,
+					},
+				})
+			}
+		}
+	}
+	return chromeFile{TraceEvents: events}
+}

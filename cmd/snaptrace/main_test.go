@@ -1,0 +1,224 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/snapml/snap"
+)
+
+// freePorts reserves n distinct TCP ports by listening and closing.
+func freePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	listeners := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	return addrs
+}
+
+// runTracedCluster trains a real 5-node TCP cluster with tracing on and
+// returns the nodes (still open; caller reads tracers before Close).
+func runTracedCluster(t *testing.T, n, rounds int) []*snap.PeerNode {
+	t.Helper()
+	addrs := freePorts(t, n)
+	topo := snap.CompleteTopology(n)
+	rng := rand.New(rand.NewSource(2))
+	ds := snap.SyntheticCredit(snap.CreditConfig{Samples: 1000}, rng)
+	parts, err := ds.Partition(n, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nodes := make([]*snap.PeerNode, n)
+	for i := range nodes {
+		node, err := snap.NewPeerNode(snap.PeerConfig{
+			ID:           i,
+			Topology:     topo,
+			Model:        snap.NewLinearSVM(ds.NumFeature),
+			Data:         parts[i],
+			Alpha:        0.1,
+			Seed:         1,
+			ListenAddr:   addrs[i],
+			RoundTimeout: 5 * time.Second,
+			TraceRounds:  rounds,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { node.Close() })
+		nodes[i] = node
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i, pn := range nodes {
+		neighbors := make(map[int]string)
+		for _, j := range topo.Neighbors(i) {
+			neighbors[j] = addrs[j]
+		}
+		wg.Add(1)
+		go func(i int, pn *snap.PeerNode, neighbors map[int]string) {
+			defer wg.Done()
+			if errs[i] = pn.Connect(neighbors); errs[i] != nil {
+				return
+			}
+			_, errs[i] = pn.Run(rounds)
+		}(i, pn, neighbors)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+	}
+	return nodes
+}
+
+// TestSnaptraceSmoke is the end-to-end CLI check: a real 5-node traced
+// cluster, merged like the coordinator would, served over HTTP, rendered
+// live via -url, and exported as Chrome trace events.
+func TestSnaptraceSmoke(t *testing.T) {
+	const n, rounds = 5, 6
+	nodes := runTracedCluster(t, n, rounds)
+
+	agg := snap.NewTraceAggregator(0)
+	agg.SetMembers([]int{0, 1, 2, 3, 4})
+	for _, pn := range nodes {
+		for _, d := range pn.Tracer().DigestsSince(0, rounds) {
+			agg.Add(d)
+		}
+	}
+	srv := httptest.NewServer(snap.ClusterTraceHandler(agg))
+	defer srv.Close()
+
+	chrome := filepath.Join(t.TempDir(), "chrome.json")
+	var buf bytes.Buffer
+	if err := run("", srv.URL, rounds, 64, chrome, &buf); err != nil {
+		t.Fatalf("snaptrace run: %v\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"round 0", "node 0", "node 4", "saved", "critical path:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	data, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ct chromeFile
+	if err := json.Unmarshal(data, &ct); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	phases, recvs := 0, 0
+	for _, ev := range ct.TraceEvents {
+		switch ev.Cat {
+		case "phase":
+			phases++
+		case "recv":
+			recvs++
+		}
+	}
+	// 5 nodes x 6 rounds x 6 phases; every node hears from 4 neighbors.
+	if want := n * rounds * 6; phases != want {
+		t.Errorf("chrome export has %d phase events, want %d", phases, want)
+	}
+	if want := n * rounds * (n - 1); recvs != want {
+		t.Errorf("chrome export has %d recv events, want %d", recvs, want)
+	}
+}
+
+// TestSnaptraceMergesNodeDigests feeds the tool raw per-node digest JSONL
+// (a concatenated scrape of several node /trace endpoints) and checks it
+// merges them locally into complete cluster rounds.
+func TestSnaptraceMergesNodeDigests(t *testing.T) {
+	const n, rounds = 5, 4
+	nodes := runTracedCluster(t, n, rounds)
+
+	var lines bytes.Buffer
+	enc := json.NewEncoder(&lines)
+	for _, pn := range nodes {
+		for _, d := range pn.Tracer().DigestsSince(0, rounds) {
+			if err := enc.Encode(d); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	in := filepath.Join(t.TempDir(), "digests.jsonl")
+	if err := os.WriteFile(in, lines.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := run(in, "", rounds, 48, "", &buf); err != nil {
+		t.Fatalf("snaptrace run: %v\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "nodes 5/5") {
+		t.Errorf("merged rounds are not complete (want \"nodes 5/5\"):\n%s", out)
+	}
+	if !strings.Contains(out, "total over 4 rounds") {
+		t.Errorf("missing cumulative summary:\n%s", out)
+	}
+}
+
+// TestRenderRoundMarksStraggler pins the timeline format on a synthetic
+// round: the straggler row is starred, missing members are listed, and
+// the phase glyphs appear.
+func TestRenderRoundMarksStraggler(t *testing.T) {
+	base := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC).UnixNano()
+	ms := func(d int) int64 { return base + int64(d)*int64(time.Millisecond) }
+	cr := snap.ClusterRound{
+		Round:          3,
+		StartUnixNanos: ms(0),
+		EndUnixNanos:   ms(10),
+		Straggler:      1,
+		Completeness:   2.0 / 3.0,
+		Missing:        []int{2},
+		BytesSent:      100,
+		BytesFullSend:  400,
+		Nodes: []snap.NodeRound{
+			{Digest: snap.RoundDigest{
+				Node: 0, Round: 3, StartUnixNanos: ms(0), EndUnixNanos: ms(9),
+				Phases: []snap.SpanDigest{
+					{Name: snap.SpanBuild, StartUnixNanos: ms(0), EndUnixNanos: ms(1)},
+					{Name: snap.SpanGather, StartUnixNanos: ms(1), EndUnixNanos: ms(8)},
+				},
+			}},
+			{Digest: snap.RoundDigest{
+				Node: 1, Round: 3, StartUnixNanos: ms(0), EndUnixNanos: ms(10),
+				Phases: []snap.SpanDigest{
+					{Name: snap.SpanBroadcast, StartUnixNanos: ms(4), EndUnixNanos: ms(9)},
+				},
+			}},
+		},
+	}
+	var buf bytes.Buffer
+	renderRound(&buf, cr, 40)
+	out := buf.String()
+	for _, want := range []string{"*node 1", " node 0", "(no digest this round)", "saved 75.0%", "B", "G", "S"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

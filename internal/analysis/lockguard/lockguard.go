@@ -43,8 +43,10 @@ var Analyzer = &lint.Analyzer{
 }
 
 var (
-	guardRe  = regexp.MustCompile(`guarded by ([A-Za-z_]\w*)(?:\.([A-Za-z_]\w*))?`)
-	holdsRe  = regexp.MustCompile(`(?i)caller (?:must )?holds?\s+([A-Za-z_]\w*)\.([A-Za-z_]\w*)`)
+	guardRe = regexp.MustCompile(`guarded by ([A-Za-z_]\w*)(?:\.([A-Za-z_]\w*))?`)
+	// \s+ between the words: doc comments wrap, so "Caller" and "holds"
+	// can land on different lines of the same paragraph.
+	holdsRe  = regexp.MustCompile(`(?i)caller\s+(?:must\s+)?holds?\s+([A-Za-z_]\w*)\.([A-Za-z_]\w*)`)
 	lockOps  = map[string]int{"Lock": +1, "RLock": +1, "Unlock": -1, "RUnlock": -1}
 	fatalish = map[string]bool{"Fatal": true, "Fatalf": true, "Exit": true, "Goexit": true, "Skip": true, "Skipf": true, "SkipNow": true, "FailNow": true}
 )

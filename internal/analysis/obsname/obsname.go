@@ -12,8 +12,14 @@
 //   - Observer/EventLog Emit — the event-type argument;
 //   - obs.Label — the name and every label key (values are dynamic).
 //
-// When analyzing the obs package itself, the analyzer additionally
-// verifies that no two exported name constants share a value.
+// The same rule covers the tracing namespace (internal/trace/names.go):
+// Tracer.Span's span-name argument and RoundDigest.Phase's lookup name
+// must be named constants — snaptrace, the Chrome export, and the
+// aggregator's critical-path walk all join on these strings.
+//
+// When analyzing the obs or trace package itself, the analyzer
+// additionally verifies that no two exported name constants share a
+// value.
 package obsname
 
 import (
@@ -33,9 +39,13 @@ var Analyzer = &lint.Analyzer{
 	Run:  run,
 }
 
-// obsPathSuffix identifies the observability package; matching by
-// suffix keeps the analyzer working on testdata copies of the API.
-const obsPathSuffix = "internal/obs"
+// obsPathSuffix and tracePathSuffix identify the observability and
+// tracing packages; matching by suffix keeps the analyzer working on
+// testdata copies of the API.
+const (
+	obsPathSuffix   = "internal/obs"
+	tracePathSuffix = "internal/trace"
+)
 
 func run(pass *lint.Pass) (any, error) {
 	for _, f := range pass.Files {
@@ -52,7 +62,7 @@ func run(pass *lint.Pass) (any, error) {
 			return true
 		})
 	}
-	if isObsPkg(pass.Pkg.Path()) {
+	if isObsPkg(pass.Pkg.Path()) || isTracePkg(pass.Pkg.Path()) {
 		checkUniqueNames(pass)
 	}
 	return nil, nil
@@ -60,6 +70,10 @@ func run(pass *lint.Pass) (any, error) {
 
 func isObsPkg(path string) bool {
 	return strings.HasSuffix(path, obsPathSuffix)
+}
+
+func isTracePkg(path string) bool {
+	return strings.HasSuffix(path, tracePathSuffix)
 }
 
 func checkCall(pass *lint.Pass, call *ast.CallExpr) {
@@ -72,17 +86,35 @@ func checkCall(pass *lint.Pass, call *ast.CallExpr) {
 	if id, ok := sel.X.(*ast.Ident); ok && sel.Sel.Name == "Label" {
 		if pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok && isObsPkg(pkg.Imported().Path()) {
 			if len(call.Args) > 0 {
-				checkNameArg(pass, call.Args[0], "metric name")
+				checkNameArg(pass, call.Args[0], "metric name", obsHint)
 			}
 			for i := 1; i < len(call.Args); i += 2 {
-				checkNameArg(pass, call.Args[i], "label key")
+				checkNameArg(pass, call.Args[i], "label key", obsHint)
 			}
 			return
 		}
 	}
 
 	recv := receiverNamed(pass, sel.X)
-	if recv == nil || !isObsPkg(recv.Obj().Pkg().Path()) {
+	if recv == nil {
+		return
+	}
+	if isTracePkg(recv.Obj().Pkg().Path()) {
+		switch {
+		case recv.Obj().Name() == "Tracer" && sel.Sel.Name == "Span":
+			// Span(round, name, start, end)
+			if len(call.Args) > 1 {
+				checkNameArg(pass, call.Args[1], "span name", traceHint)
+			}
+		case recv.Obj().Name() == "RoundDigest" && sel.Sel.Name == "Phase":
+			// Phase(name)
+			if len(call.Args) > 0 {
+				checkNameArg(pass, call.Args[0], "span name", traceHint)
+			}
+		}
+		return
+	}
+	if !isObsPkg(recv.Obj().Pkg().Path()) {
 		return
 	}
 	switch recv.Obj().Name() {
@@ -90,7 +122,7 @@ func checkCall(pass *lint.Pass, call *ast.CallExpr) {
 		switch sel.Sel.Name {
 		case "Counter", "Gauge", "Histogram":
 			if len(call.Args) > 0 {
-				checkNameArg(pass, call.Args[0], "metric name")
+				checkNameArg(pass, call.Args[0], "metric name", obsHint)
 			}
 		}
 	}
@@ -99,7 +131,7 @@ func checkCall(pass *lint.Pass, call *ast.CallExpr) {
 		case "Observer", "EventLog":
 			// Emit(node, typ, round, peer, fields)
 			if len(call.Args) > 1 {
-				checkNameArg(pass, call.Args[1], "event type")
+				checkNameArg(pass, call.Args[1], "event type", obsHint)
 			}
 		}
 	}
@@ -122,11 +154,18 @@ func receiverNamed(pass *lint.Pass, x ast.Expr) *types.Named {
 	return named
 }
 
+// The "use a named constant from ..." hint points at the file that owns
+// the namespace being violated.
+const (
+	obsHint   = "internal/obs/names.go"
+	traceHint = "internal/trace/names.go"
+)
+
 // checkNameArg rejects inline string literals anywhere in the
-// argument. Named constants (obs.MRound) and dynamic values
-// (variables, function results) pass; nested calls such as obs.Label
-// are checked at their own site.
-func checkNameArg(pass *lint.Pass, arg ast.Expr, what string) {
+// argument. Named constants (obs.MRound, trace.SpanGrad) and dynamic
+// values (variables, function results) pass; nested calls such as
+// obs.Label are checked at their own site.
+func checkNameArg(pass *lint.Pass, arg ast.Expr, what, hint string) {
 	if _, ok := arg.(*ast.CallExpr); ok {
 		return
 	}
@@ -138,7 +177,7 @@ func checkNameArg(pass *lint.Pass, arg ast.Expr, what string) {
 		if !ok || lit.Kind != token.STRING {
 			return true
 		}
-		pass.Reportf(lit.Pos(), "%s %s is an inline string literal; use a named constant from internal/obs/names.go", what, lit.Value)
+		pass.Reportf(lit.Pos(), "%s %s is an inline string literal; use a named constant from %s", what, lit.Value, hint)
 		return true
 	})
 }

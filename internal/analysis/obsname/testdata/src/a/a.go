@@ -1,8 +1,13 @@
 // Package a exercises the obsname analyzer's call-site rules against
-// the real internal/obs API.
+// the real internal/obs and internal/trace APIs.
 package a
 
-import "github.com/snapml/snap/internal/obs"
+import (
+	"time"
+
+	"github.com/snapml/snap/internal/obs"
+	"github.com/snapml/snap/internal/trace"
+)
 
 func dynamicName() string { return "dyn" }
 
@@ -26,4 +31,18 @@ func bad(r *obs.Registry, o *obs.Observer, l *obs.EventLog) {
 	l.Emit(1, "round_end", 0, -1, nil)                          // want `event type "round_end" is an inline string literal`
 	_ = obs.Label("snap_x", "peer", "1")                        // want `metric name "snap_x" is an inline string literal` `label key "peer" is an inline string literal`
 	_ = obs.Label(obs.MLinkBytesSent, obs.LPeer, "1", "k", "v") // want `label key "k" is an inline string literal`
+}
+
+func goodTrace(t *trace.Tracer, d *trace.RoundDigest) {
+	t.Span(1, trace.SpanGrad, time.Time{}, time.Time{})
+	_, _ = d.Phase(trace.SpanGather)
+
+	name := dynamicName()
+	t.Span(1, name, time.Time{}, time.Time{}) // dynamic names are somebody else's problem
+	_, _ = d.Phase(name)
+}
+
+func badTrace(t *trace.Tracer, d *trace.RoundDigest) {
+	t.Span(1, "grad", time.Time{}, time.Time{}) // want `span name "grad" is an inline string literal`
+	_, _ = d.Phase("gather")                    // want `span name "gather" is an inline string literal`
 }

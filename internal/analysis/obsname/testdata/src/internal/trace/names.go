@@ -1,0 +1,11 @@
+// Package trace stands in for the real tracing package so the
+// uniqueness rule (which fires on internal/trace path suffixes) can be
+// tested in isolation.
+package trace
+
+const (
+	SpanBuild = "build"
+	SpanCopy  = "build" // want `constant SpanCopy duplicates the name "build" already declared by SpanBuild`
+
+	spanLocal = "build" // unexported: tooling never joins on it
+)

@@ -105,6 +105,20 @@ func ChooseFormat(n, m int) Format {
 	return FormatIndexValue
 }
 
+// FullFrameBytes returns the size of a full-parameter-send frame for a
+// model of numParams parameters — the baseline the paper's communication
+// savings are measured against, and the ground truth for the tracer's
+// bytes-saved accounting. A full send withholds nothing (m = 0) and the
+// chooser always picks the same layout it would pick for a real full
+// send, so the figure matches what BuildUpdate+Encode would emit.
+func FullFrameBytes(numParams int, lossy bool) int {
+	f := ChooseFormat(numParams, 0)
+	if lossy {
+		f = ChooseFormat32(numParams, 0)
+	}
+	return HeaderBytes + PayloadBytes(numParams, 0, f)
+}
+
 // PayloadBytes returns the paper-accounted frame size for n total
 // parameters, m withheld, in the given format: 4+8n−4m for format 1,
 // 12(n−m) for format 2.

@@ -21,6 +21,15 @@ func FuzzDecode(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte{1, 2, 3})
+	// A frame with a 24-byte transport trace block still prefixed — what
+	// the decoder would see if a transport ever failed to strip the block.
+	// It must be rejected (or decoded as garbage-that-validates), never
+	// panic on.
+	if frame, _, err := Encode(randomUpdate(rng, 12)); err == nil {
+		block := make([]byte, 24, 24+len(frame))
+		block[0], block[7], block[23] = 0xde, 0xad, 0x07
+		f.Add(append(block, frame...))
+	}
 
 	f.Fuzz(func(t *testing.T, frame []byte) {
 		u, err := Decode(frame)

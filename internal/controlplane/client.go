@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/snapml/snap/internal/trace"
 )
 
 // ClientConfig configures a node's connection to the coordinator.
@@ -53,6 +55,10 @@ type Client struct {
 
 	round        atomic.Int64 // latest round reported by the node
 	appliedEpoch atomic.Int64 // highest epoch id the node has applied
+
+	// tracer, when set, has its completed round digests piggybacked onto
+	// heartbeats so the coordinator's aggregator sees every round.
+	tracer atomic.Pointer[trace.Tracer]
 
 	firstEpoch chan struct{} // closed when the first epoch arrives
 	leaveResp  chan leaveResult
@@ -160,6 +166,12 @@ func (c *Client) ReportRound(round int) { c.round.Store(int64(round)) }
 // ReportEpoch records the highest epoch id the node has applied.
 func (c *Client) ReportEpoch(id int) { c.appliedEpoch.Store(int64(id)) }
 
+// SetTracer attaches the node's round tracer: completed round digests
+// ride on heartbeats, and the client answers the coordinator's clock
+// probes (probes are answered either way — a nil tracer only stops the
+// digest push).
+func (c *Client) SetTracer(t *trace.Tracer) { c.tracer.Store(t) }
+
 // Leave asks the coordinator for a graceful departure and waits for the
 // verdict. On success the control connection is closed; a leave that
 // would disconnect the topology returns an error and the node remains a
@@ -263,16 +275,41 @@ func (c *Client) readLoop() {
 			case c.leaveResp <- leaveResult{ok: false, reason: rej.Reason}:
 			default:
 			}
+		case msgClockProbe:
+			// Echo immediately: the midpoint estimate's error grows with the
+			// processing gap between T1 and T2, so both are stamped here, as
+			// close to the socket as the protocol allows.
+			t1 := time.Now().UnixNano()
+			var probe clockProbe
+			if err := unmarshal(body, &probe); err != nil {
+				c.logf("controlplane: node %d: bad clock probe: %v", c.id, err)
+				continue
+			}
+			echo := clockEcho{T0: probe.T0, T1: t1, T2: time.Now().UnixNano()}
+			c.writeMu.Lock()
+			err := writeFrame(c.conn, msgClockEcho, echo, 5*time.Second)
+			c.writeMu.Unlock()
+			if err != nil {
+				c.logf("controlplane: node %d: clock echo failed: %v", c.id, err)
+			}
 		default:
 			c.logf("controlplane: node %d: unexpected %v from coordinator", c.id, typ)
 		}
 	}
 }
 
+// maxDigestsPerBeat bounds the trace digests piggybacked on one
+// heartbeat: enough to drain several rounds of backlog per beat without
+// letting one frame grow unboundedly after a long stall.
+const maxDigestsPerBeat = 16
+
 func (c *Client) heartbeatLoop() {
 	defer c.wg.Done()
 	tick := time.NewTicker(c.cfg.HeartbeatEvery)
 	defer tick.Stop()
+	// lastPushed tracks the newest round digest already shipped, so each
+	// beat sends only what completed since the previous one.
+	lastPushed := -1
 	for {
 		select {
 		case <-c.closed:
@@ -283,6 +320,12 @@ func (c *Client) heartbeatLoop() {
 			ID:    c.id,
 			Round: int(c.round.Load()),
 			Epoch: int(c.appliedEpoch.Load()),
+		}
+		if tr := c.tracer.Load(); tr.Enabled() {
+			hb.Traces = tr.DigestsSince(lastPushed+1, maxDigestsPerBeat)
+			if n := len(hb.Traces); n > 0 {
+				lastPushed = hb.Traces[n-1].Round
+			}
 		}
 		c.writeMu.Lock()
 		err := writeFrame(c.conn, msgHeartbeat, hb, 5*time.Second)

@@ -352,6 +352,7 @@ func TestMsgTypeString(t *testing.T) {
 		msgJoin: "join", msgJoinOK: "join_ok", msgLeave: "leave",
 		msgLeaveOK: "leave_ok", msgReject: "reject",
 		msgHeartbeat: "heartbeat", msgEpoch: "epoch",
+		msgClockProbe: "clock_probe", msgClockEcho: "clock_echo",
 		msgType(99): "msgType(99)",
 	} {
 		if got := typ.String(); got != want {

@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"github.com/snapml/snap/internal/graph"
 	"github.com/snapml/snap/internal/linalg"
 	"github.com/snapml/snap/internal/obs"
+	"github.com/snapml/snap/internal/trace"
 	"github.com/snapml/snap/internal/weights"
 )
 
@@ -47,6 +49,15 @@ type CoordinatorConfig struct {
 	// Obs, when set, receives coordinator metrics (member count, epoch id,
 	// λ̄max, optimization time) and membership events.
 	Obs *obs.Observer
+	// TraceRounds, when positive, enables cluster-wide trace aggregation:
+	// members push round digests on their heartbeats, the coordinator
+	// merges the most recent TraceRounds rounds, estimates per-member
+	// clock offsets, and serves the merged view via Trace().
+	TraceRounds int
+	// ClockSyncEvery is the clock-probe period when tracing is enabled
+	// (default 2s). Each member is probed on admission and then
+	// periodically, keeping the offset model fresh against drift.
+	ClockSyncEvery time.Duration
 }
 
 func (cfg CoordinatorConfig) withDefaults() CoordinatorConfig {
@@ -61,6 +72,9 @@ func (cfg CoordinatorConfig) withDefaults() CoordinatorConfig {
 	}
 	if cfg.ApplyMargin <= 0 {
 		cfg.ApplyMargin = 3
+	}
+	if cfg.ClockSyncEvery <= 0 {
+		cfg.ClockSyncEvery = 2 * time.Second
 	}
 	return cfg
 }
@@ -77,6 +91,10 @@ type member struct {
 	round    int       // guarded by Coordinator.mu
 	epoch    int       // guarded by Coordinator.mu
 	lastBeat time.Time // guarded by Coordinator.mu
+
+	// offsetG exposes this member's estimated clock offset (labeled
+	// node="<id>"); bound once at admission, detached when unobserved.
+	offsetG *obs.Gauge
 }
 
 func (m *member) push(typ msgType, payload any, timeout time.Duration) error {
@@ -91,6 +109,13 @@ type coordMetrics struct {
 	joins, leaves, evictions *obs.Counter
 	broadcasts               *obs.Counter
 	optSeconds               *obs.Histogram
+
+	// Trace aggregation (all detached when tracing or observation is off).
+	traceDigests *obs.Counter
+	bytesSaved   *obs.Counter
+	completeness *obs.Gauge
+	straggler    *obs.Gauge
+	stragglerLag *obs.Gauge
 }
 
 // Coordinator is the control-plane service: it admits and removes
@@ -114,6 +139,10 @@ type Coordinator struct {
 	wg        sync.WaitGroup
 
 	met coordMetrics
+
+	// agg merges member round digests into the cluster trace view; nil
+	// when TraceRounds is 0 (every trace.Aggregator method is nil-safe).
+	agg *trace.Aggregator
 }
 
 // NewCoordinator starts a coordinator listening on cfg.ListenAddr.
@@ -138,7 +167,16 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 			evictions:  cfg.Obs.Counter(obs.MEvictions),
 			broadcasts: cfg.Obs.Counter(obs.MEpochsBroadcast),
 			optSeconds: cfg.Obs.Histogram(obs.MWeightOptSeconds, obs.TimeBuckets),
+
+			traceDigests: cfg.Obs.Counter(obs.MTraceDigests),
+			bytesSaved:   cfg.Obs.Counter(obs.MTraceBytesSaved),
+			completeness: cfg.Obs.Gauge(obs.MTraceCompleteness),
+			straggler:    cfg.Obs.Gauge(obs.MTraceStraggler),
+			stragglerLag: cfg.Obs.Gauge(obs.MTraceStragglerLag),
 		},
+	}
+	if cfg.TraceRounds > 0 {
+		c.agg = trace.NewAggregator(cfg.TraceRounds)
 	}
 	c.wg.Add(1)
 	go c.acceptLoop()
@@ -146,8 +184,17 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		c.wg.Add(1)
 		go c.evictionLoop()
 	}
+	if c.agg != nil {
+		c.wg.Add(1)
+		go c.clockLoop()
+	}
 	return c, nil
 }
+
+// Trace returns the coordinator's trace aggregator, nil unless
+// CoordinatorConfig.TraceRounds enabled aggregation. Serve it with
+// trace.ClusterHandler for the merged /trace endpoint.
+func (c *Coordinator) Trace() *trace.Aggregator { return c.agg }
 
 // Addr returns the coordinator's control-plane listen address.
 func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
@@ -246,6 +293,8 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 		switch typ {
 		case msgHeartbeat:
 			c.beat(m, body)
+		case msgClockEcho:
+			c.clockEchoFrom(m, body, time.Now().UnixNano())
 		case msgLeave:
 			if c.leave(m) {
 				conn.Close()
@@ -276,6 +325,9 @@ func (c *Coordinator) admit(conn net.Conn, body []byte) (*member, error) {
 	default:
 	}
 	m := &member{id: c.nextID, addr: req.Addr, conn: conn, lastBeat: time.Now()}
+	if c.agg != nil {
+		m.offsetG = c.cfg.Obs.Gauge(obs.Label(obs.MClockOffset, obs.LNode, strconv.Itoa(m.id)))
+	}
 	c.nextID++
 	c.members[m.id] = m
 	// New ids are monotonic, so appending keeps order sorted and the new
@@ -287,6 +339,7 @@ func (c *Coordinator) admit(conn net.Conn, body []byte) (*member, error) {
 	}
 	c.met.joins.Inc()
 	c.met.members.Set(float64(len(c.members)))
+	c.agg.SetMembers(c.order)
 	c.cfg.Obs.Emit(-1, obs.EvMemberJoin, -1, m.id, map[string]any{"addr": m.addr})
 	c.logf("coordinator: member %d joined from %s (%d members)", m.id, m.addr, len(c.members))
 	epoch, targets := c.maybeNewEpochLocked()
@@ -296,6 +349,11 @@ func (c *Coordinator) admit(conn net.Conn, body []byte) (*member, error) {
 		return nil, fmt.Errorf("reply to join: %v", err)
 	}
 	c.broadcast(epoch, targets)
+	if c.agg != nil {
+		// Probe immediately so the new member has an offset estimate before
+		// its first digests arrive, not ClockSyncEvery later.
+		c.probeClock(m)
+	}
 	return m, nil
 }
 
@@ -327,6 +385,92 @@ func (c *Coordinator) beat(m *member, body []byte) {
 	m.round = hb.Round
 	m.epoch = hb.Epoch
 	c.mu.Unlock()
+	c.ingestTraces(m, hb.Traces)
+}
+
+// ingestTraces merges heartbeat-pushed round digests into the aggregator
+// and refreshes the cluster-trace gauges from the latest merged round.
+func (c *Coordinator) ingestTraces(m *member, digests []trace.RoundDigest) {
+	if c.agg == nil || len(digests) == 0 {
+		return
+	}
+	for _, d := range digests {
+		if d.Node != m.id {
+			// A digest must describe the member that sent it; anything else
+			// is a bug or a spoof, and either way must not pollute the view.
+			c.logf("coordinator: member %d pushed a digest for node %d; dropped", m.id, d.Node)
+			continue
+		}
+		if c.agg.Add(d) {
+			c.met.traceDigests.Inc()
+			if saved := d.BytesFullSend - d.BytesSent; saved > 0 {
+				c.met.bytesSaved.Add(saved)
+			}
+		}
+	}
+	if latest := c.agg.Latest(); latest >= 0 {
+		if cr, ok := c.agg.Round(latest); ok {
+			c.met.completeness.Set(cr.Completeness)
+			c.met.straggler.Set(float64(cr.Straggler))
+			c.met.stragglerLag.Set(time.Duration(cr.StragglerLagNanos).Seconds())
+		}
+	}
+}
+
+// clockEchoFrom feeds one probe reply into the offset model. t3 is the
+// arrival timestamp, taken before JSON decoding so parse time does not
+// inflate the apparent round trip.
+func (c *Coordinator) clockEchoFrom(m *member, body []byte, t3 int64) {
+	if c.agg == nil {
+		return
+	}
+	var echo clockEcho
+	if err := unmarshal(body, &echo); err != nil {
+		c.logf("coordinator: bad clock echo from member %d: %v", m.id, err)
+		return
+	}
+	c.agg.ObserveClock(m.id, echo.T0, echo.T1, echo.T2, t3)
+	est := c.agg.Offset(m.id)
+	m.offsetG.Set(time.Duration(est.OffsetNanos).Seconds())
+	if c.cfg.Obs.LogEnabled() {
+		f := obs.GetFields()
+		f["offset_seconds"] = time.Duration(est.OffsetNanos).Seconds()
+		f["delay_seconds"] = time.Duration(est.DelayNanos).Seconds()
+		c.cfg.Obs.Emit(-1, obs.EvClockSync, -1, m.id, f)
+		obs.PutFields(f)
+	}
+}
+
+// clockLoop periodically probes every member's clock. Echo handling
+// happens on the members' connection goroutines (clockEchoFrom).
+func (c *Coordinator) clockLoop() {
+	defer c.wg.Done()
+	tick := time.NewTicker(c.cfg.ClockSyncEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.closed:
+			return
+		case <-tick.C:
+		}
+		c.mu.Lock()
+		targets := make([]*member, 0, len(c.members))
+		for _, m := range c.members {
+			targets = append(targets, m)
+		}
+		c.mu.Unlock()
+		for _, m := range targets {
+			c.probeClock(m)
+		}
+	}
+}
+
+// probeClock sends one clock probe; failures are tolerated (the next
+// tick retries, and a dead connection is heartbeat-eviction's problem).
+func (c *Coordinator) probeClock(m *member) {
+	if err := m.push(msgClockProbe, clockProbe{T0: time.Now().UnixNano()}, 5*time.Second); err != nil {
+		c.logf("coordinator: clock probe to member %d: %v", m.id, err)
+	}
 }
 
 // leave handles a graceful departure request. It returns true when the
@@ -386,6 +530,7 @@ func (c *Coordinator) removeLocked(id int, reason string) {
 	delete(c.members, id)
 	c.repairLocked()
 	c.met.members.Set(float64(len(c.members)))
+	c.agg.SetMembers(c.order)
 	c.cfg.Obs.Emit(-1, obs.EvMemberLeave, -1, id, map[string]any{"reason": reason})
 	c.logf("coordinator: member %d removed (%s; %d members remain)", id, reason, len(c.members))
 }

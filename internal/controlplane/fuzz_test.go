@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"testing"
+
+	"github.com/snapml/snap/internal/trace"
 )
 
 // frameBytes renders one control frame into a byte slice for seeding.
@@ -22,6 +24,15 @@ func frameBytes(t *testing.F, typ msgType, payload any) []byte {
 func FuzzReadFrame(f *testing.F) {
 	f.Add(frameBytes(f, msgJoin, joinReq{Addr: "127.0.0.1:7000"}))
 	f.Add(frameBytes(f, msgHeartbeat, heartbeat{ID: 3, Round: 17, Epoch: 2}))
+	f.Add(frameBytes(f, msgHeartbeat, heartbeat{ID: 3, Round: 17, Epoch: 2,
+		Traces: []trace.RoundDigest{{
+			Node: 3, Round: 17, TraceID: trace.ID(3, 17),
+			StartUnixNanos: 100, EndUnixNanos: 900,
+			Phases: []trace.SpanDigest{{Name: trace.SpanBuild, StartUnixNanos: 100, EndUnixNanos: 200}},
+			Recvs:  []trace.RecvDigest{{From: 1, Bytes: 64, TraceID: trace.ID(1, 17), SendUnixNanos: 150, RecvUnixNanos: 400}},
+		}}}))
+	f.Add(frameBytes(f, msgClockProbe, clockProbe{T0: 123456789}))
+	f.Add(frameBytes(f, msgClockEcho, clockEcho{T0: 1, T1: 2, T2: 3}))
 	f.Add(frameBytes(f, msgEpoch, Epoch{
 		ID:           1,
 		ApplyAtRound: 5,

@@ -1,0 +1,178 @@
+package controlplane
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"github.com/snapml/snap/internal/trace"
+)
+
+// completeRound records one fully-formed round on a tracer so its digest
+// is eligible for the heartbeat push.
+func completeRound(tr *trace.Tracer, round int) {
+	start := time.Now()
+	tr.StartRound(round, start)
+	tr.Phase(round, trace.PhaseBuild, start, start.Add(time.Millisecond))
+	tr.Sent(round, 2, 100, 400, 10, 40)
+	tr.EndRound(round, start.Add(2*time.Millisecond))
+}
+
+// TestHeartbeatCarriesDigests drives the full push path: tracer → client
+// heartbeat → coordinator aggregator, including clock probing.
+func TestHeartbeatCarriesDigests(t *testing.T) {
+	coord := startCoordinator(t, CoordinatorConfig{
+		MinMembers:     2,
+		TraceRounds:    16,
+		ClockSyncEvery: 25 * time.Millisecond,
+	})
+	clients := joinAll(t, coord, []string{"10.0.0.1:9000", "10.0.0.2:9000"})
+
+	tracers := make([]*trace.Tracer, len(clients))
+	for i, c := range clients {
+		tracers[i] = trace.New(trace.Config{Node: c.ID()})
+		c.SetTracer(tracers[i])
+	}
+	for round := 0; round < 3; round++ {
+		for _, tr := range tracers {
+			completeRound(tr, round)
+		}
+	}
+
+	agg := coord.Trace()
+	if agg == nil {
+		t.Fatal("TraceRounds > 0 but Trace() returned nil")
+	}
+	waitFor(t, "all rounds merged from every member", func() bool {
+		cr, ok := agg.Round(2)
+		return ok && cr.Completeness == 1.0
+	})
+	cr, _ := agg.Round(2)
+	if cr.BytesSent != 200 || cr.BytesFullSend != 800 {
+		t.Errorf("round 2 bytes = %d/%d, want 200/800", cr.BytesSent, cr.BytesFullSend)
+	}
+	sent, full := agg.CumulativeBytes()
+	if sent != 600 || full != 2400 {
+		t.Errorf("cumulative bytes = %d/%d, want 600/2400", sent, full)
+	}
+
+	// The clock loop probes both members; with real echoes the offsets
+	// must converge near zero (same host, same clock).
+	for _, c := range clients {
+		c := c
+		waitFor(t, "clock offset sample", func() bool {
+			return agg.Offset(c.ID()).Samples > 0
+		})
+		if est := agg.Offset(c.ID()); est.OffsetNanos > int64(time.Second) || est.OffsetNanos < -int64(time.Second) {
+			t.Errorf("node %d offset %v implausible for a same-host clock", c.ID(), est.OffsetNanos)
+		}
+	}
+
+	// Digests are pushed incrementally: a later round arrives without
+	// resending the earlier ones (lastPushed advances).
+	for _, tr := range tracers {
+		completeRound(tr, 3)
+	}
+	waitFor(t, "round 3 merged", func() bool {
+		cr, ok := agg.Round(3)
+		return ok && cr.Completeness == 1.0
+	})
+}
+
+// TestSpoofedDigestRejected verifies the coordinator drops digests whose
+// Node field does not match the sending member: one member must not be
+// able to pollute another's timeline.
+func TestSpoofedDigestRejected(t *testing.T) {
+	coord := startCoordinator(t, CoordinatorConfig{
+		MinMembers:  1,
+		TraceRounds: 16,
+	})
+	victim := joinClient(t, coord, "10.0.0.1:9000")
+
+	// A raw control connection joining as a second member, so we control
+	// exactly what rides on its heartbeats.
+	conn, err := net.Dial("tcp", coord.Addr())
+	if err != nil {
+		t.Fatalf("dial coordinator: %v", err)
+	}
+	defer conn.Close()
+	if err := writeFrame(conn, msgJoin, joinReq{Addr: "10.0.0.2:9000"}, time.Second); err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	var attackerID int
+	for {
+		typ, body, err := readFrame(conn, 5*time.Second)
+		if err != nil {
+			t.Fatalf("awaiting join_ok: %v", err)
+		}
+		if typ == msgJoinOK {
+			var resp joinResp
+			if err := unmarshal(body, &resp); err != nil {
+				t.Fatalf("join_ok payload: %v", err)
+			}
+			attackerID = resp.ID
+			break
+		}
+	}
+
+	spoofed := trace.RoundDigest{Node: victim.ID(), Round: 0, StartUnixNanos: 1, EndUnixNanos: 2}
+	legit := trace.RoundDigest{Node: attackerID, Round: 0, StartUnixNanos: 1, EndUnixNanos: 2}
+	hb := heartbeat{ID: attackerID, Traces: []trace.RoundDigest{spoofed, legit}}
+	if err := writeFrame(conn, msgHeartbeat, hb, time.Second); err != nil {
+		t.Fatalf("heartbeat: %v", err)
+	}
+
+	agg := coord.Trace()
+	waitFor(t, "legit digest to merge", func() bool {
+		cr, ok := agg.Round(0)
+		return ok && len(cr.Nodes) > 0
+	})
+	cr, _ := agg.Round(0)
+	for _, nr := range cr.Nodes {
+		if nr.Digest.Node == victim.ID() {
+			t.Fatalf("spoofed digest for node %d was merged", victim.ID())
+		}
+	}
+}
+
+// TestClockEchoStampsOrdered checks the client answers probes with
+// T1 ≤ T2 in its own clock domain and echoes T0 untouched. The client's
+// read loop is exercised directly over an in-memory pipe.
+func TestClockEchoStampsOrdered(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	cl := &Client{cfg: ClientConfig{}.withDefaults(), conn: b,
+		firstEpoch: make(chan struct{}), leaveResp: make(chan leaveResult, 1),
+		closed: make(chan struct{})}
+	cl.wg.Add(1)
+	go cl.readLoop()
+	defer func() {
+		b.Close()
+		cl.wg.Wait()
+	}()
+
+	before := time.Now().UnixNano()
+	go writeFrame(a, msgClockProbe, clockProbe{T0: 12345}, time.Second)
+	typ, body, err := readFrame(a, 5*time.Second)
+	after := time.Now().UnixNano()
+	if err != nil {
+		t.Fatalf("awaiting echo: %v", err)
+	}
+	if typ != msgClockEcho {
+		t.Fatalf("reply type = %v, want clock_echo", typ)
+	}
+	var echo clockEcho
+	if err := unmarshal(body, &echo); err != nil {
+		t.Fatalf("echo payload: %v", err)
+	}
+	if echo.T0 != 12345 {
+		t.Errorf("echo T0 = %d, want 12345 (must be returned untouched)", echo.T0)
+	}
+	if echo.T1 > echo.T2 {
+		t.Errorf("echo stamps out of order: T1 %d > T2 %d", echo.T1, echo.T2)
+	}
+	if echo.T1 < before || echo.T2 > after {
+		t.Errorf("echo stamps [%d,%d] outside probe window [%d,%d]", echo.T1, echo.T2, before, after)
+	}
+}

@@ -24,6 +24,8 @@ import (
 	"io"
 	"net"
 	"time"
+
+	"github.com/snapml/snap/internal/trace"
 )
 
 // maxControlFrame bounds one control frame. Epochs grow with cluster size
@@ -53,6 +55,13 @@ const (
 	// msgEpoch (coordinator → node): a new cluster configuration. Payload:
 	// Epoch.
 	msgEpoch
+	// msgClockProbe (coordinator → node): an NTP-style clock probe; the
+	// node echoes immediately. Payload: clockProbe. Appended after the
+	// original types so the wire values of older messages never move.
+	msgClockProbe
+	// msgClockEcho (node → coordinator): the probe reply. Payload:
+	// clockEcho.
+	msgClockEcho
 )
 
 func (t msgType) String() string {
@@ -71,6 +80,10 @@ func (t msgType) String() string {
 		return "heartbeat"
 	case msgEpoch:
 		return "epoch"
+	case msgClockProbe:
+		return "clock_probe"
+	case msgClockEcho:
+		return "clock_echo"
 	default:
 		return fmt.Sprintf("msgType(%d)", uint32(t))
 	}
@@ -109,6 +122,31 @@ type heartbeat struct {
 	Round int `json:"round"`
 	// Epoch is the highest epoch the node has applied.
 	Epoch int `json:"epoch"`
+	// Traces carries the node's completed round digests since the last
+	// heartbeat (empty when tracing is off). JSON keeps this forward- and
+	// backward-compatible: an old coordinator ignores the field, an old
+	// node simply never sends it.
+	Traces []trace.RoundDigest `json:"traces,omitempty"`
+}
+
+// clockProbe is the coordinator's NTP-style probe: T0 is the
+// coordinator's clock at send time, echoed back so the coordinator can
+// pair the reply without per-member state.
+//
+//snap:wire
+type clockProbe struct {
+	T0 int64 `json:"t0"`
+}
+
+// clockEcho is the node's reply: T0 from the probe, T1 the node's clock
+// at receive, T2 the node's clock at reply. The coordinator stamps T3 on
+// arrival and feeds all four into trace.Aggregator.ObserveClock.
+//
+//snap:wire
+type clockEcho struct {
+	T0 int64 `json:"t0"`
+	T1 int64 `json:"t1"`
+	T2 int64 `json:"t2"`
 }
 
 // EpochMember is one cluster member as described by an epoch.

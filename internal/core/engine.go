@@ -12,6 +12,7 @@ import (
 	"github.com/snapml/snap/internal/linalg"
 	"github.com/snapml/snap/internal/model"
 	"github.com/snapml/snap/internal/obs"
+	"github.com/snapml/snap/internal/trace"
 )
 
 // SendPolicy selects what an engine transmits each round.
@@ -110,6 +111,9 @@ type EngineConfig struct {
 	// sharing one registry across engines keeps them distinct. Nil
 	// disables observation at negligible cost.
 	Obs *obs.Observer
+	// Trace, when set, records the engine's gradient and mixing sub-spans
+	// inside each round's trace. Nil disables them at zero cost.
+	Trace *trace.Tracer
 }
 
 // Engine is one edge server's training state: the EXTRA two-term recursion
@@ -479,6 +483,8 @@ func (e *Engine) Step(round int) linalg.Vector {
 		batch = e.batchBuf
 	}
 	model.GradientTo(e.cfg.Model, e.grad, e.x, batch, &e.gradSc, e.cfg.GradWorkers)
+	gradEnd := time.Now()
+	e.cfg.Trace.Span(round, trace.SpanGrad, start, gradEnd)
 
 	// mix = Σ_j w_ij·x_j^{k+1} (including the self term). The fused kernel
 	// accumulates neighbors in slot (= sorted id) order, bitwise-matching
@@ -500,6 +506,8 @@ func (e *Engine) Step(round int) linalg.Vector {
 		e.next.AXPYInPlace(-e.cfg.Alpha, e.grad)
 		e.next.AXPYInPlace(e.cfg.Alpha, e.gPrev)
 	}
+
+	e.cfg.Trace.Span(round, trace.SpanMix, gradEnd, time.Now())
 
 	// Rotate the scratch vectors instead of allocating: the old x becomes
 	// x^k, the freshly built iterate becomes x^{k+1}, and the old x^k

@@ -10,6 +10,7 @@ import (
 	"github.com/snapml/snap/internal/graph"
 	"github.com/snapml/snap/internal/linalg"
 	"github.com/snapml/snap/internal/model"
+	"github.com/snapml/snap/internal/trace"
 	"github.com/snapml/snap/internal/weights"
 )
 
@@ -39,6 +40,9 @@ func newTestEngine(t *testing.T, policy SendPolicy) *Engine {
 		Neighbors: g.Neighbors(0),
 		Policy:    policy,
 		Init:      m.InitParams(7),
+		// Tracing stays on in every engine test so the alloc budget below
+		// proves the instrumented hot path, not an idealized one.
+		Trace: trace.New(trace.Config{Node: 0}),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -11,6 +11,7 @@ import (
 	"github.com/snapml/snap/internal/controlplane"
 	"github.com/snapml/snap/internal/metrics"
 	"github.com/snapml/snap/internal/obs"
+	"github.com/snapml/snap/internal/trace"
 	"github.com/snapml/snap/internal/transport"
 )
 
@@ -60,6 +61,13 @@ type PeerNodeConfig struct {
 	// its JSONL round-lifecycle event stream. Serve it with obs.Handler
 	// to scrape the node mid-training. Nil disables observation.
 	Obs *obs.Observer
+	// Tracer, when set, records per-round spans (build/encode/broadcast/
+	// gather/decode/integrate plus the engine's grad/mix sub-spans), stamps
+	// a trace context onto every outgoing frame, links received frames back
+	// to the senders' timelines, and — in elastic mode — pushes completed
+	// round digests to the coordinator on heartbeats. Nil disables tracing
+	// at zero cost.
+	Tracer *trace.Tracer
 }
 
 // PeerNode runs a SNAP engine over a real TCP transport. Synchronization
@@ -151,6 +159,7 @@ func NewPeerNode(cfg PeerNodeConfig) (*PeerNode, error) {
 		cfg.ConnectTimeout = 10 * time.Second
 	}
 	cfg.Engine.Obs = cfg.Obs
+	cfg.Engine.Trace = cfg.Tracer
 	eng, err := NewEngine(cfg.Engine)
 	if err != nil {
 		return nil, err
@@ -166,6 +175,12 @@ func NewPeerNode(cfg PeerNodeConfig) (*PeerNode, error) {
 	}
 	if cfg.Obs != nil {
 		peer.SetObserver(cfg.Obs)
+	}
+	if cfg.Tracer != nil {
+		peer.SetTracer(cfg.Tracer)
+		if cfg.Control != nil {
+			cfg.Control.SetTracer(cfg.Tracer)
+		}
 	}
 	pn := &PeerNode{cfg: cfg, engine: eng, peer: peer, met: newRoundMetrics(cfg.Obs)}
 	pn.epoch.Store(int64(cfg.Epoch))
@@ -195,6 +210,12 @@ func (pn *PeerNode) Engine() *Engine { return pn.engine }
 // BytesSent reports the payload bytes this node wrote to its sockets —
 // the testbed measurement the paper reports in Fig. 4.
 func (pn *PeerNode) BytesSent() int64 { return pn.peer.BytesSent() }
+
+// FramesSent reports how many data-plane frames this node has written.
+func (pn *PeerNode) FramesSent() int64 { return pn.peer.FramesSent() }
+
+// Tracer returns the node's round tracer (nil when tracing is off).
+func (pn *PeerNode) Tracer() *trace.Tracer { return pn.cfg.Tracer }
 
 // SendFailures reports how many broadcasts hit at least one failed
 // neighbor link (each was tolerated, not fatal).
@@ -234,7 +255,9 @@ func (pn *PeerNode) Connect(neighborAddrs map[int]string) error {
 // newer epoch, then reports the round to the coordinator.
 func (pn *PeerNode) Run(rounds int) (*metrics.Trace, error) {
 	id := pn.engine.ID()
-	trace := &metrics.Trace{}
+	result := &metrics.Trace{}
+	tr := pn.cfg.Tracer
+	fullFrame := int64(codec.FullFrameBytes(pn.cfg.Engine.Model.NumParams(), pn.cfg.Engine.Float32Wire))
 	startRound := pn.cfg.StartRound
 	if pn.cfg.Control != nil {
 		// A joiner that was slow between admission and Run may find the
@@ -248,14 +271,16 @@ func (pn *PeerNode) Run(rounds int) (*metrics.Trace, error) {
 	}
 	for round := startRound; round < rounds; round++ {
 		if err := pn.maybeReconfigure(round); err != nil {
-			return trace, err
+			return result, err
 		}
 		if pn.cfg.Control != nil {
 			pn.cfg.Control.ReportRound(round)
 		}
 		roundStart := time.Now()
 		bytesBefore := pn.peer.BytesSent()
+		framesBefore := pn.peer.FramesSent()
 		pn.met.round.Set(float64(round))
+		tr.StartRound(round, roundStart)
 		pn.cfg.Obs.Emit(id, obs.EvRoundStart, round, -1, nil)
 
 		if pn.needRefresh.Swap(false) {
@@ -266,47 +291,67 @@ func (pn *PeerNode) Run(rounds int) (*metrics.Trace, error) {
 		t := time.Now()
 		u, err := pn.engine.BuildUpdate(round)
 		if err != nil {
-			return trace, err
+			return result, err
 		}
-		pn.met.build.Observe(time.Since(t).Seconds())
+		end := time.Now()
+		pn.met.build.Observe(end.Sub(t).Seconds())
+		tr.Phase(round, trace.PhaseBuild, t, end)
 
-		t = time.Now()
+		t = end
 		if pn.cfg.Engine.Float32Wire {
 			pn.encBuf, _, err = codec.EncodeLossyTo(pn.encBuf, u)
 		} else {
 			pn.encBuf, _, err = codec.EncodeTo(pn.encBuf, u)
 		}
 		if err != nil {
-			return trace, err
+			return result, err
 		}
 		frame := pn.encBuf
-		pn.met.encode.Observe(time.Since(t).Seconds())
+		end = time.Now()
+		pn.met.encode.Observe(end.Sub(t).Seconds())
+		tr.Phase(round, trace.PhaseEncode, t, end)
 
-		t = time.Now()
+		t = end
 		if err := pn.peer.Broadcast(round, frame); err != nil {
 			// A dead link mid-broadcast is a straggler, not a node
 			// failure: the receiver reuses our last parameters and the
 			// transport reconnects in the background.
 			pn.sendFailures.Add(1)
 			pn.met.sendFailures.Inc()
-			if pn.cfg.Obs != nil {
-				pn.cfg.Obs.Emit(id, obs.EvFault, round, -1,
-					map[string]any{"kind": "send_failure", "error": err.Error()})
+			if pn.cfg.Obs.LogEnabled() {
+				f := obs.GetFields()
+				f["kind"] = "send_failure"
+				f["error"] = err.Error()
+				pn.cfg.Obs.Emit(id, obs.EvFault, round, -1, f)
+				obs.PutFields(f)
 			}
 			pn.logf("node %d: broadcast round %d: %v (continuing; link treated as straggler)",
 				id, round, err)
 		}
-		pn.met.broadcast.Observe(time.Since(t).Seconds())
-		if pn.cfg.Obs != nil {
-			pn.cfg.Obs.Emit(id, obs.EvBroadcast, round, -1,
-				map[string]any{"bytes": len(frame), "selected": len(u.Indices)})
+		end = time.Now()
+		pn.met.broadcast.Observe(end.Sub(t).Seconds())
+		tr.Phase(round, trace.PhaseBroadcast, t, end)
+		// A full send would have cost one maximal frame per neighbor
+		// actually written to: the counter-derived ground truth for the
+		// aggregator's bytes-saved accounting.
+		frames := pn.peer.FramesSent() - framesBefore
+		tr.Sent(round, int(frames), pn.peer.BytesSent()-bytesBefore,
+			frames*fullFrame, len(u.Indices), u.NumParams)
+		if pn.cfg.Obs.LogEnabled() {
+			f := obs.GetFields()
+			f["bytes"] = len(frame)
+			f["selected"] = len(u.Indices)
+			pn.cfg.Obs.Emit(id, obs.EvBroadcast, round, -1, f)
+			obs.PutFields(f)
 		}
 
 		t = time.Now()
 		inbox := pn.peer.Gather(round, pn.cfg.RoundTimeout)
-		pn.met.gather.Observe(time.Since(t).Seconds())
+		end = time.Now()
+		pn.met.gather.Observe(end.Sub(t).Seconds())
+		tr.Phase(round, trace.PhaseGather, t, end)
 
-		t = time.Now()
+		t = end
 		pn.updates = pn.updates[:0]
 		for from, f := range inbox {
 			dec := codec.GetUpdate()
@@ -315,9 +360,12 @@ func (pn *PeerNode) Run(rounds int) (*metrics.Trace, error) {
 				// problem, not ours: drop it and reuse their last view.
 				codec.PutUpdate(dec)
 				pn.met.corrupt.Inc()
-				if pn.cfg.Obs != nil {
-					pn.cfg.Obs.Emit(id, obs.EvFault, round, from,
-						map[string]any{"kind": "corrupt_frame", "error": err.Error()})
+				if pn.cfg.Obs.LogEnabled() {
+					fields := obs.GetFields()
+					fields["kind"] = "corrupt_frame"
+					fields["error"] = err.Error()
+					pn.cfg.Obs.Emit(id, obs.EvFault, round, from, fields)
+					obs.PutFields(fields)
 				}
 				pn.logf("node %d: dropping corrupt round-%d frame from %d: %v",
 					id, round, from, err)
@@ -328,21 +376,27 @@ func (pn *PeerNode) Run(rounds int) (*metrics.Trace, error) {
 			// can rejoin the transport's receive pool immediately.
 			transport.RecycleFrame(f)
 		}
-		pn.met.decode.Observe(time.Since(t).Seconds())
+		end = time.Now()
+		pn.met.decode.Observe(end.Sub(t).Seconds())
+		tr.Phase(round, trace.PhaseDecode, t, end)
 
-		t = time.Now()
+		t = end
 		err = pn.engine.Integrate(pn.updates)
 		for i, dec := range pn.updates {
 			codec.PutUpdate(dec)
 			pn.updates[i] = nil
 		}
 		if err != nil {
-			return trace, err
+			return result, err
 		}
-		pn.met.integrate.Observe(time.Since(t).Seconds())
-		if pn.cfg.Obs != nil {
-			pn.cfg.Obs.Emit(id, obs.EvIntegrate, round, -1,
-				map[string]any{"updates": len(inbox)})
+		end = time.Now()
+		pn.met.integrate.Observe(end.Sub(t).Seconds())
+		tr.Phase(round, trace.PhaseIntegrate, t, end)
+		if pn.cfg.Obs.LogEnabled() {
+			f := obs.GetFields()
+			f["updates"] = len(inbox)
+			pn.cfg.Obs.Emit(id, obs.EvIntegrate, round, -1, f)
+			obs.PutFields(f)
 		}
 
 		pn.engine.Step(round)
@@ -350,16 +404,22 @@ func (pn *PeerNode) Run(rounds int) (*metrics.Trace, error) {
 
 		loss := pn.engine.LocalLoss()
 		roundBytes := pn.peer.BytesSent() - bytesBefore
-		roundSec := time.Since(roundStart).Seconds()
+		roundEnd := time.Now()
+		roundSec := roundEnd.Sub(roundStart).Seconds()
 		pn.met.localLoss.Set(loss)
 		pn.met.roundBytes.Set(float64(roundBytes))
 		pn.met.roundSeconds.Observe(roundSec)
-		if pn.cfg.Obs != nil {
-			pn.cfg.Obs.Emit(id, obs.EvRoundEnd, round, -1,
-				map[string]any{"seconds": roundSec, "loss": loss, "bytes": roundBytes})
+		tr.EndRound(round, roundEnd)
+		if pn.cfg.Obs.LogEnabled() {
+			f := obs.GetFields()
+			f["seconds"] = roundSec
+			f["loss"] = loss
+			f["bytes"] = roundBytes
+			pn.cfg.Obs.Emit(id, obs.EvRoundEnd, round, -1, f)
+			obs.PutFields(f)
 		}
 
-		trace.Append(metrics.IterationStat{
+		result.Append(metrics.IterationStat{
 			Round: round,
 			Loss:  loss,
 			// No test set is evaluated on the testbed path; NaN is the
@@ -372,7 +432,7 @@ func (pn *PeerNode) Run(rounds int) (*metrics.Trace, error) {
 			RoundCost: float64(roundBytes),
 		})
 	}
-	return trace, nil
+	return result, nil
 }
 
 // Epoch returns the id of the cluster epoch this node last applied (its

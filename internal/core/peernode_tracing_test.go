@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/snapml/snap/internal/codec"
+	"github.com/snapml/snap/internal/trace"
+	"github.com/snapml/snap/internal/transport"
+)
+
+// TestClusterTraceIdentifiesStraggler is the tracing end-to-end check: a
+// 5-node TCP cluster with one artificially slow node must produce an
+// aggregated cluster view that (a) blames that node for the critical
+// path, and (b) reports bytes-saved within 1% of the ground truth
+// reconstructed from the transport's own counters.
+func TestClusterTraceIdentifiesStraggler(t *testing.T) {
+	const (
+		n         = 5
+		rounds    = 12
+		slow      = 4 // the straggler
+		delay     = 40 * time.Millisecond
+		firstSlow = 2
+		lastSlow  = 9
+	)
+
+	// Delay every frame the slow node sends during the slow window. The
+	// delays are injected on the sender, so receivers see genuinely late
+	// arrivals — exactly what the gather-wait attribution must explain.
+	faults := transport.NewFaultSet()
+	for r := firstSlow; r <= lastSlow; r++ {
+		for p := 0; p < n; p++ {
+			if p != slow {
+				faults.Add(transport.FaultRule{Peer: p, Round: r, Action: transport.FaultDelay, Delay: delay})
+			}
+		}
+	}
+
+	tracers := make([]*trace.Tracer, n)
+	nodes := startPeerNodes(t, n, 5*time.Second, func(i int, cfg *PeerNodeConfig) {
+		tracers[i] = trace.New(trace.Config{Node: i})
+		cfg.Tracer = tracers[i]
+		if i == slow {
+			cfg.Faults = faults
+		}
+	})
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i, pn := range nodes {
+		wg.Add(1)
+		go func(i int, pn *PeerNode) {
+			defer wg.Done()
+			_, errs[i] = pn.Run(rounds)
+		}(i, pn)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+	}
+
+	// Merge every node's digests, as the coordinator would from heartbeat
+	// pushes (all nodes share one host clock, so no offsets are needed).
+	agg := trace.NewAggregator(rounds)
+	agg.SetMembers([]int{0, 1, 2, 3, 4})
+	for _, tr := range tracers {
+		for _, d := range tr.DigestsSince(0, rounds) {
+			agg.Add(d)
+		}
+	}
+
+	// Every round must be complete: all 5 nodes reported.
+	for r := 0; r < rounds; r++ {
+		cr, ok := agg.Round(r)
+		if !ok {
+			t.Fatalf("round %d missing from the aggregate", r)
+		}
+		if cr.Completeness != 1.0 {
+			t.Fatalf("round %d completeness = %v (missing %v)", r, cr.Completeness, cr.Missing)
+		}
+	}
+
+	// During the slow window the aggregate must blame the delayed node
+	// and route the critical path through it.
+	for r := firstSlow; r <= lastSlow; r++ {
+		cr, _ := agg.Round(r)
+		if cr.Straggler != slow {
+			t.Errorf("round %d: straggler = %d (lag %v), want %d",
+				r, cr.Straggler, time.Duration(cr.StragglerLagNanos), slow)
+			continue
+		}
+		if cr.StragglerLagNanos < int64(delay)/2 {
+			t.Errorf("round %d: straggler lag %v implausibly small for a %v injected delay",
+				r, time.Duration(cr.StragglerLagNanos), delay)
+		}
+		foundSlow := false
+		for _, step := range cr.CriticalPath {
+			if step.Node == slow {
+				foundSlow = true
+			}
+		}
+		if !foundSlow {
+			t.Errorf("round %d: critical path %+v never visits the straggler", r, cr.CriticalPath)
+		}
+	}
+
+	// Bytes-saved must agree with the transport counters: every frame
+	// actually written, had it been a full send, would have cost exactly
+	// FullFrameBytes (the policy here is float64 selective sends).
+	var sentTruth, fullTruth int64
+	for _, pn := range nodes {
+		numParams := pn.cfg.Engine.Model.NumParams()
+		sentTruth += pn.BytesSent()
+		fullTruth += pn.FramesSent() * int64(codec.FullFrameBytes(numParams, false))
+	}
+	aggSent, aggFull := agg.CumulativeBytes()
+	if relDiff(float64(aggSent), float64(sentTruth)) > 0.01 {
+		t.Errorf("aggregated bytes sent %d vs counter ground truth %d (>1%% off)", aggSent, sentTruth)
+	}
+	if relDiff(float64(aggFull), float64(fullTruth)) > 0.01 {
+		t.Errorf("aggregated full-send bytes %d vs counter ground truth %d (>1%% off)", aggFull, fullTruth)
+	}
+	savedTruth := fullTruth - sentTruth
+	if saved := aggFull - aggSent; relDiff(float64(saved), float64(savedTruth)) > 0.01 {
+		t.Errorf("bytes saved %d vs ground truth %d (>1%% off)", saved, savedTruth)
+	}
+	if aggSent <= 0 || aggFull <= aggSent {
+		t.Errorf("bytes accounting degenerate: sent %d, full %d (selective sends must save bytes)",
+			aggSent, aggFull)
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	if b == 0 {
+		return math.Abs(a)
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}

@@ -29,6 +29,9 @@ const (
 	EvMemberLeave    = "member_leave"    // coordinator removed a member (f: reason)
 	EvEpochBroadcast = "epoch_broadcast" // coordinator published an epoch (f: epoch, members, apply_at_round, lambda_bar_max, objective)
 	EvEpochApplied   = "epoch_applied"   // node switched to an epoch (f: epoch, neighbors, seconds)
+
+	// Distributed tracing.
+	EvClockSync = "clock_sync" // coordinator refreshed a member's clock offset (f: offset_seconds, delay_seconds)
 )
 
 // Event is one JSONL record. Round and Peer are -1 when not applicable
@@ -59,6 +62,29 @@ type EventLog struct {
 // NewEventLog wraps w (e.g. a file or os.Stderr) in an event log.
 func NewEventLog(w io.Writer) *EventLog {
 	return &EventLog{w: w, now: time.Now}
+}
+
+// Enabled reports whether events are actually recorded. Hot paths use it
+// to skip building field maps entirely when the log is nil — the original
+// Emit contract allocated a map[string]any per call even when every event
+// was discarded.
+func (l *EventLog) Enabled() bool { return l != nil }
+
+// fieldsPool recycles event field maps so enabled hot-path emits reuse
+// storage instead of allocating a fresh map per event.
+var fieldsPool = sync.Pool{
+	New: func() any { return make(map[string]any, 8) },
+}
+
+// GetFields returns an empty field map from the pool. Pass it to Emit and
+// return it with PutFields afterwards — Emit marshals synchronously, so
+// the map is free for reuse as soon as Emit returns.
+func GetFields() map[string]any { return fieldsPool.Get().(map[string]any) }
+
+// PutFields clears f and returns it to the pool.
+func PutFields(f map[string]any) {
+	clear(f)
+	fieldsPool.Put(f)
 }
 
 // Emit writes one event. Use round/peer = -1 for "not applicable"; fields

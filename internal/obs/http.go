@@ -8,54 +8,87 @@ import (
 	"net/http/pprof"
 )
 
-// Handler serves the observability surface for one node:
+// ServeConfig configures one node's observability surface.
+type ServeConfig struct {
+	// Node is echoed into /snapshot for multi-node scrape aggregation.
+	Node int
+	// Reg backs /metrics and /snapshot.
+	Reg *Registry
+	// Log, when set, contributes its emitted/dropped counters to /snapshot.
+	Log *EventLog
+	// PprofEnabled mounts the /debug/pprof/* handlers. Leave it off on any
+	// address reachable beyond the operator: pprof exposes heap contents
+	// and can burn CPU on demand (see README, "Securing the metrics
+	// address").
+	PprofEnabled bool
+	// Trace, when set, is mounted at /trace — a node serves its own round
+	// digests (trace.DigestHandler), the coordinator serves the merged
+	// cluster view (trace.ClusterHandler).
+	Trace http.Handler
+}
+
+// NewHandler builds the observability handler described by cfg:
 //
 //	/metrics        Prometheus text exposition of the registry
 //	/snapshot       JSON snapshot of every metric (expvar-style)
-//	/debug/pprof/*  the standard pprof handlers (CPU, heap, goroutine, …)
-//
-// so a running edge cluster can be scraped and profiled mid-training.
-// node is echoed into the snapshot for multi-node scrape aggregation.
-func Handler(node int, reg *Registry, log *EventLog) http.Handler {
+//	/trace          round trace digests (when cfg.Trace is set)
+//	/debug/pprof/*  the standard pprof handlers (when cfg.PprofEnabled)
+func NewHandler(cfg ServeConfig) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		fmt.Fprint(w, reg.Text())
+		fmt.Fprint(w, cfg.Reg.Text())
 	})
 	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		snap := map[string]any{
-			"node":    node,
-			"metrics": reg.Snapshot(),
+			"node":    cfg.Node,
+			"metrics": cfg.Reg.Snapshot(),
 		}
-		if log != nil {
-			snap["events_emitted"] = log.Emitted()
-			snap["events_dropped"] = log.Errors()
+		if cfg.Log != nil {
+			snap["events_emitted"] = cfg.Log.Emitted()
+			snap["events_dropped"] = cfg.Log.Errors()
 		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(snap)
 	})
-	// Explicit pprof wiring: importing net/http/pprof only registers on
-	// http.DefaultServeMux, which we deliberately do not serve.
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if cfg.Trace != nil {
+		mux.Handle("/trace", cfg.Trace)
+	}
+	if cfg.PprofEnabled {
+		// Explicit pprof wiring: importing net/http/pprof only registers on
+		// http.DefaultServeMux, which we deliberately do not serve.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
-// Serve starts an HTTP server for Handler on addr in a background
-// goroutine and returns the server (for Close/Shutdown) and the bound
-// address (useful with ":0"). The server's lifetime is the caller's
-// responsibility; serve errors after Close are discarded.
-func Serve(addr string, node int, reg *Registry, log *EventLog) (*http.Server, string, error) {
+// Handler is the original fixed-shape surface (pprof always on, no trace
+// endpoint), kept for callers that predate ServeConfig.
+func Handler(node int, reg *Registry, log *EventLog) http.Handler {
+	return NewHandler(ServeConfig{Node: node, Reg: reg, Log: log, PprofEnabled: true})
+}
+
+// ServeWith starts an HTTP server for NewHandler(cfg) on addr in a
+// background goroutine and returns the server (for Close/Shutdown) and
+// the bound address (useful with ":0"). The server's lifetime is the
+// caller's responsibility; serve errors after Close are discarded.
+func ServeWith(addr string, cfg ServeConfig) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: Handler(node, reg, log)}
+	srv := &http.Server{Handler: NewHandler(cfg)}
 	go srv.Serve(ln)
 	return srv, ln.Addr().String(), nil
+}
+
+// Serve is ServeWith with the legacy Handler shape (pprof always on).
+func Serve(addr string, node int, reg *Registry, log *EventLog) (*http.Server, string, error) {
+	return ServeWith(addr, ServeConfig{Node: node, Reg: reg, Log: log, PprofEnabled: true})
 }

@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -91,6 +92,60 @@ func TestPprofEndpoint(t *testing.T) {
 	body, _ := io.ReadAll(resp.Body)
 	if !strings.Contains(string(body), "goroutine") {
 		t.Error("pprof goroutine dump looks empty")
+	}
+}
+
+// TestPprofOptOut: a ServeConfig without PprofEnabled must not mount the
+// profiler (heap dumps leak memory contents; see README, "Securing the
+// metrics address") while /metrics keeps working.
+func TestPprofOptOut(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(ServeConfig{Node: 0, Reg: NewRegistry()}))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/debug/pprof/goroutine?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("/debug/pprof with PprofEnabled=false: status %d, want 404", resp.StatusCode)
+	}
+	resp, err = srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("/metrics status %d with pprof disabled", resp.StatusCode)
+	}
+}
+
+// TestTraceEndpointMount: ServeConfig.Trace is mounted at /trace; absent,
+// the path 404s.
+func TestTraceEndpointMount(t *testing.T) {
+	marker := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "trace-handler")
+	})
+	srv := httptest.NewServer(NewHandler(ServeConfig{Reg: NewRegistry(), Trace: marker}))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || string(body) != "trace-handler" {
+		t.Errorf("/trace: status %d body %q", resp.StatusCode, body)
+	}
+
+	bare := httptest.NewServer(NewHandler(ServeConfig{Reg: NewRegistry()}))
+	defer bare.Close()
+	resp, err = bare.Client().Get(bare.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("/trace without a handler: status %d, want 404", resp.StatusCode)
 	}
 }
 

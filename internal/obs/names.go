@@ -60,6 +60,17 @@ const (
 	MEpochsBroadcast  = "snap_epochs_broadcast_total" // epochs the coordinator published
 	MLambdaBarMax     = "snap_w_lambda_bar_max"       // λ̄max(W) of the current epoch's matrix
 	MWeightOptSeconds = "snap_weight_opt_seconds"     // central W re-optimization time
+
+	// Distributed tracing (coordinator-side aggregation). Bytes-saved is
+	// the cluster-wide form of the paper's communication reduction:
+	// full-send baseline bytes minus selective-send bytes, summed over
+	// every traced frame.
+	MTraceDigests      = "snap_trace_digests_total"         // round digests ingested from members
+	MTraceCompleteness = "snap_trace_completeness"          // fraction of members reporting the latest merged round
+	MTraceStraggler    = "snap_trace_straggler_node"        // straggler verdict for the latest merged round (-1 unknown)
+	MTraceStragglerLag = "snap_trace_straggler_lag_seconds" // how much the straggler lengthened the round
+	MTraceBytesSaved   = "snap_trace_bytes_saved_total"     // cumulative bytes saved vs full-parameter sends
+	MClockOffset       = "snap_clock_offset_seconds"        // per-member clock offset estimate (labeled node="<id>")
 )
 
 // Label keys used with Label(...). Dashboards and the trace tooling

@@ -117,9 +117,13 @@ func TestNilObserverSafety(t *testing.T) {
 		t.Errorf("detached histogram count = %d after one Observe", h.Count())
 	}
 	o.Emit(0, EvRoundStart, 1, -1, map[string]any{"k": "v"}) // must not panic
+	if o.LogEnabled() {
+		t.Error("nil Observer reports an enabled log")
+	}
 
 	assertAllMethodsCovered(t, o, map[string]bool{
 		"Counter": true, "Gauge": true, "Histogram": true, "Emit": true,
+		"LogEnabled": true,
 	})
 }
 
@@ -154,8 +158,11 @@ func TestNilEventLogSafety(t *testing.T) {
 	if l.Emitted() != 0 || l.Errors() != 0 {
 		t.Errorf("nil event log counts = (%d, %d), want (0, 0)", l.Emitted(), l.Errors())
 	}
+	if l.Enabled() {
+		t.Error("nil event log reports enabled")
+	}
 
 	assertAllMethodsCovered(t, l, map[string]bool{
-		"Emit": true, "Emitted": true, "Errors": true,
+		"Emit": true, "Emitted": true, "Errors": true, "Enabled": true,
 	})
 }

@@ -34,3 +34,9 @@ func (o *Observer) Emit(node int, typ string, round, peer int, fields map[string
 	}
 	o.Log.Emit(node, typ, round, peer, fields)
 }
+
+// LogEnabled reports whether emitted events reach a real log. Hot paths
+// check it before building field maps (see GetFields/PutFields) so a
+// metrics-only or unobserved deployment pays zero allocations per event
+// site.
+func (o *Observer) LogEnabled() bool { return o != nil && o.Log.Enabled() }

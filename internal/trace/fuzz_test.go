@@ -1,0 +1,37 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseBlock hardens the wire-block parser against arbitrary remote
+// bytes: it must never panic, must reject short input, and for
+// well-formed input the parse must round-trip bit-exactly through
+// PutBlock.
+func FuzzParseBlock(f *testing.F) {
+	var seed [BlockBytes]byte
+	PutBlock(seed[:], Context{TraceID: ID(3, 9), Node: 3, Round: 9, SendUnixNanos: 1_700_000_000_000_000_000})
+	f.Add(seed[:])
+	f.Add([]byte{})
+	f.Add(seed[:BlockBytes-1])
+	f.Add(bytes.Repeat([]byte{0xff}, BlockBytes))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		c, err := ParseBlock(b)
+		if len(b) < BlockBytes {
+			if err == nil {
+				t.Fatalf("ParseBlock accepted %d bytes", len(b))
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("ParseBlock rejected %d bytes: %v", len(b), err)
+		}
+		var out [BlockBytes]byte
+		PutBlock(out[:], c)
+		if !bytes.Equal(out[:], b[:BlockBytes]) {
+			t.Fatalf("round trip mismatch: in=%x out=%x", b[:BlockBytes], out)
+		}
+	})
+}

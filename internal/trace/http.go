@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// DigestHandler serves a node's completed round digests as JSONL (one
+// RoundDigest per line, ascending rounds). Query parameters: ?since=R
+// returns rounds >= R only, ?max=N caps the count (default 256). This is
+// what snaptrace scrapes when pointed at a node instead of the
+// coordinator.
+func DigestHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if t == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		since, max := queryBounds(r)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for _, d := range t.DigestsSince(since, max) {
+			if err := enc.Encode(d); err != nil {
+				return
+			}
+		}
+	})
+}
+
+// ClusterHandler serves the aggregator's merged cluster rounds as JSONL
+// (one ClusterRound per line, ascending rounds). Query parameters as in
+// DigestHandler. This is the coordinator's /trace endpoint and the
+// primary snaptrace input.
+func ClusterHandler(a *Aggregator) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if a == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		since, max := queryBounds(r)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		n := 0
+		for _, round := range a.Rounds() {
+			if round < since || n >= max {
+				continue
+			}
+			if cr, ok := a.Round(round); ok {
+				if err := enc.Encode(cr); err != nil {
+					return
+				}
+				n++
+			}
+		}
+	})
+}
+
+func queryBounds(r *http.Request) (since, max int) {
+	max = 256
+	if v := r.URL.Query().Get("since"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			since = n
+		}
+	}
+	if v := r.URL.Query().Get("max"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			max = n
+		}
+	}
+	return since, max
+}

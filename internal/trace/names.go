@@ -1,0 +1,55 @@
+package trace
+
+// Span names used by the round tracer. Every span recorded through
+// Tracer.Span (and every phase name exported in digests) must be one of
+// these constants — the obsname analyzer rejects inline literals, exactly
+// as it does for metric names: snaptrace, the Chrome trace export, and
+// the aggregator's critical-path walk all join on these strings.
+const (
+	// SpanRound is the per-round root span on each node.
+	SpanRound = "round"
+
+	// Phase spans, children of SpanRound in pipeline order.
+	SpanBuild     = "build"     // BuildUpdate: select parameters to send
+	SpanEncode    = "encode"    // codec encoding of the update frame
+	SpanBroadcast = "broadcast" // socket writes to every neighbor
+	SpanGather    = "gather"    // wait for the round's neighbor frames
+	SpanDecode    = "decode"    // codec decoding of received frames
+	SpanIntegrate = "integrate" // apply neighbor updates to local views
+
+	// Compute sub-spans recorded by the engine inside Step.
+	SpanGrad = "grad" // local gradient (all shards)
+	SpanMix  = "mix"  // W-row mixing + EXTRA recursion update
+)
+
+// PhaseID indexes the fixed per-round phase slots. The order is the round
+// pipeline order; NumPhases sizes the preallocated slot array.
+type PhaseID int
+
+const (
+	PhaseBuild PhaseID = iota
+	PhaseEncode
+	PhaseBroadcast
+	PhaseGather
+	PhaseDecode
+	PhaseIntegrate
+	NumPhases
+)
+
+// phaseNames maps PhaseID to its span name.
+var phaseNames = [NumPhases]string{
+	PhaseBuild:     SpanBuild,
+	PhaseEncode:    SpanEncode,
+	PhaseBroadcast: SpanBroadcast,
+	PhaseGather:    SpanGather,
+	PhaseDecode:    SpanDecode,
+	PhaseIntegrate: SpanIntegrate,
+}
+
+// Name returns the span name of a phase ("" for out-of-range ids).
+func (p PhaseID) Name() string {
+	if p < 0 || p >= NumPhases {
+		return ""
+	}
+	return phaseNames[p]
+}

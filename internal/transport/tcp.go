@@ -13,11 +13,21 @@ import (
 	"time"
 
 	"github.com/snapml/snap/internal/obs"
+	"github.com/snapml/snap/internal/trace"
 )
 
 // maxFrameBytes bounds a single wire frame; generous for the paper's
 // largest model (a 784-30-10 MLP update is < 300 KB).
 const maxFrameBytes = 64 << 20
+
+// frameFlagTrace marks a frame that carries a trace.BlockBytes trace
+// block between the header and the payload. It lives in the top bit of
+// the round field — rounds are far below 2^31, so the bit is free — and
+// the length field covers block + payload. A peer with tracing disabled
+// emits frames byte-identical to the pre-trace wire format, which keeps
+// traceless new binaries interoperable with old ones in both directions;
+// tracing itself is enabled cluster-wide or not at all.
+const frameFlagTrace = 1 << 31
 
 const (
 	// dialAttemptTimeout caps a single TCP dial attempt so a hanging SYN
@@ -88,7 +98,13 @@ type Peer struct {
 	pendingMu sync.Mutex
 	pending   map[int]map[int][]byte // guarded by pendingMu
 
-	bytesSent atomic.Int64
+	bytesSent  atomic.Int64
+	framesSent atomic.Int64
+	// tracer, when set, records a receive observation per inbound traced
+	// frame and stamps a trace block onto every outbound frame. Atomic so
+	// long-lived read loops observe a SetTracer issued after their
+	// connection was established.
+	tracer atomic.Pointer[trace.Tracer]
 	// latestRound tracks the highest round tag seen on any inbound frame:
 	// a node (re)joining an elastic cluster uses it to fast-forward its
 	// round counter to where the cluster actually is.
@@ -210,8 +226,20 @@ func (p *Peer) ID() int { return p.id }
 func (p *Peer) Addr() string { return p.listener.Addr().String() }
 
 // BytesSent returns the total payload bytes written to sockets — the
-// quantity the paper's testbed experiment records.
+// quantity the paper's testbed experiment records. Trace blocks and
+// frame headers are excluded: the figure stays comparable across traced
+// and untraced runs.
 func (p *Peer) BytesSent() int64 { return p.bytesSent.Load() }
+
+// FramesSent returns the total number of frames written to sockets.
+// Together with BytesSent it yields the ground truth for the tracer's
+// bytes-saved-vs-full-send accounting.
+func (p *Peer) FramesSent() int64 { return p.framesSent.Load() }
+
+// SetTracer attaches a round tracer: every outbound frame gains a wire
+// trace block and every inbound traced frame is recorded as a receive
+// observation. May be called at any time; pass nil to disable.
+func (p *Peer) SetTracer(t *trace.Tracer) { p.tracer.Store(t) }
 
 // SetReconnectHandler registers fn to be called whenever a neighbor link
 // transitions from down to up after having been connected before. Set it
@@ -480,8 +508,12 @@ func (p *Peer) addConn(nid int, conn net.Conn, dialed bool) bool {
 		if downFor > 0 {
 			reconnH.Observe(downFor.Seconds())
 		}
-		o.Emit(p.id, obs.EvReconnect, -1, nid,
-			map[string]any{"down_seconds": downFor.Seconds()})
+		if o.LogEnabled() {
+			f := obs.GetFields()
+			f["down_seconds"] = downFor.Seconds()
+			o.Emit(p.id, obs.EvReconnect, -1, nid, f)
+			obs.PutFields(f)
+		}
 	} else {
 		o.Emit(p.id, obs.EvLinkUp, -1, nid, nil)
 	}
@@ -596,14 +628,35 @@ func (p *Peer) readLoop(from int, pc *peerConn) {
 	p.mu.Unlock()
 	conn := pc.conn
 	var header [8]byte
+	var block [trace.BlockBytes]byte
 	for {
 		if _, err := io.ReadFull(conn, header[:]); err != nil {
 			return
 		}
 		size := binary.BigEndian.Uint32(header[:4])
-		round := int(binary.BigEndian.Uint32(header[4:8]))
+		rawRound := binary.BigEndian.Uint32(header[4:8])
+		round := int(rawRound &^ frameFlagTrace)
+		traced := rawRound&frameFlagTrace != 0
 		if size > maxFrameBytes {
 			return
+		}
+		var ctx trace.Context
+		if traced {
+			if size < trace.BlockBytes {
+				return
+			}
+			// Read the block into the stack array, not into the pooled
+			// frame: slicing the block off a pooled buffer would shrink its
+			// capacity a little more on every recycle.
+			if _, err := io.ReadFull(conn, block[:]); err != nil {
+				return
+			}
+			c, err := trace.ParseBlock(block[:])
+			if err != nil {
+				return
+			}
+			ctx = c
+			size -= trace.BlockBytes
 		}
 		frame := getFrameBuf(int(size))
 		if _, err := io.ReadFull(conn, frame); err != nil {
@@ -611,6 +664,9 @@ func (p *Peer) readLoop(from int, pc *peerConn) {
 		}
 		lm.framesIn.Inc()
 		lm.bytesIn.Add(int64(size))
+		if traced {
+			p.tracer.Load().Recv(round, from, int(size), ctx, time.Now())
+		}
 		// Track the cluster's highest observed round (stored +1 so the
 		// zero value reads as "none seen" = -1).
 		for {
@@ -645,21 +701,39 @@ func (p *Peer) Send(to, round int, frame []byte) error {
 	pc, ok := p.conns[to]
 	lm := p.linkMetricsFor(to)
 	p.mu.Unlock()
+	tr := p.tracer.Load()
 	if !ok {
 		return fmt.Errorf("transport: peer %d has no connection to %d", p.id, to)
 	}
-	var header [8]byte
-	binary.BigEndian.PutUint32(header[:4], uint32(len(frame)))
-	binary.BigEndian.PutUint32(header[4:8], uint32(round))
+	// header is sized for the traced layout; n is how much of it this
+	// frame actually uses. With tracing off the bytes written are
+	// identical to the pre-trace wire format.
+	var header [8 + trace.BlockBytes]byte
+	n := 8
+	size, wireRound := uint32(len(frame)), uint32(round)
+	if tr.Enabled() {
+		size += trace.BlockBytes
+		wireRound |= frameFlagTrace
+		trace.PutBlock(header[8:], trace.Context{
+			TraceID:       trace.ID(p.id, round),
+			Node:          p.id,
+			Round:         round,
+			SendUnixNanos: time.Now().UnixNano(),
+		})
+		n += trace.BlockBytes
+	}
+	binary.BigEndian.PutUint32(header[:4], size)
+	binary.BigEndian.PutUint32(header[4:8], wireRound)
 	pc.writeMu.Lock()
 	defer pc.writeMu.Unlock()
-	if _, err := pc.conn.Write(header[:]); err != nil {
+	if _, err := pc.conn.Write(header[:n]); err != nil {
 		return fmt.Errorf("transport: peer %d send header to %d: %w", p.id, to, err)
 	}
 	if _, err := pc.conn.Write(frame); err != nil {
 		return fmt.Errorf("transport: peer %d send frame to %d: %w", p.id, to, err)
 	}
 	p.bytesSent.Add(int64(len(frame)))
+	p.framesSent.Add(1)
 	lm.framesOut.Inc()
 	lm.bytesOut.Add(int64(len(frame)))
 	return nil
@@ -715,8 +789,17 @@ func (p *Peer) Gather(round int, timeout time.Duration) map[int][]byte {
 	if len(got) < want {
 		short.Inc()
 	}
-	o.Emit(p.id, obs.EvGatherWait, round, -1,
-		map[string]any{"seconds": wait, "got": len(got), "want": want})
+	// Skip the field map entirely when no event log is attached: this is
+	// once-per-round on the hot path, and the map literal was the last
+	// steady-state allocation in the transport.
+	if o.LogEnabled() {
+		f := obs.GetFields()
+		f["seconds"] = wait
+		f["got"] = len(got)
+		f["want"] = want
+		o.Emit(p.id, obs.EvGatherWait, round, -1, f)
+		obs.PutFields(f)
+	}
 	return got
 }
 

@@ -47,15 +47,40 @@ func NewObserver(reg *MetricsRegistry, log *EventLog) *Observer {
 	return &Observer{Reg: reg, Log: log}
 }
 
+// ObserveConfig configures the observability HTTP endpoint: which node
+// it describes, what it exposes, and whether the pprof profiling
+// handlers are mounted.
+type ObserveConfig = obs.ServeConfig
+
 // ObservabilityHandler serves /metrics (Prometheus text exposition),
 // /snapshot (JSON), and /debug/pprof/* for one node.
+//
+// pprof is always mounted here for backward compatibility; on a network
+// anyone can reach, prefer ObservabilityHandlerWith with PprofEnabled
+// false — profiles leak memory contents and the profile endpoints can be
+// driven hard enough to degrade training.
 func ObservabilityHandler(node int, reg *MetricsRegistry, log *EventLog) http.Handler {
 	return obs.Handler(node, reg, log)
 }
 
+// ObservabilityHandlerWith builds the endpoint from an ObserveConfig:
+// /metrics and /snapshot always, /trace when cfg.Trace is set (use
+// TraceHandler or ClusterTraceHandler), /debug/pprof/* only when
+// cfg.PprofEnabled.
+func ObservabilityHandlerWith(cfg ObserveConfig) http.Handler {
+	return obs.NewHandler(cfg)
+}
+
 // ServeObservability starts ObservabilityHandler on addr (":0" for an
 // ephemeral port) in the background, returning the server and the bound
-// address. Close the server when done.
+// address. Close the server when done. pprof is mounted; see
+// ServeObservabilityWith to opt out.
 func ServeObservability(addr string, node int, reg *MetricsRegistry, log *EventLog) (*http.Server, string, error) {
 	return obs.Serve(addr, node, reg, log)
+}
+
+// ServeObservabilityWith starts ObservabilityHandlerWith on addr in the
+// background, returning the server and the bound address.
+func ServeObservabilityWith(addr string, cfg ObserveConfig) (*http.Server, string, error) {
+	return obs.ServeWith(addr, cfg)
 }

@@ -8,6 +8,7 @@ import (
 
 	"github.com/snapml/snap/internal/controlplane"
 	"github.com/snapml/snap/internal/core"
+	"github.com/snapml/snap/internal/trace"
 	"github.com/snapml/snap/internal/weights"
 )
 
@@ -105,6 +106,13 @@ type PeerConfig struct {
 	// round-lifecycle events; serve them with ServeObservability. Nil
 	// disables observation.
 	Obs *Observer
+	// TraceRounds, when positive, enables distributed tracing: the node
+	// records per-round phase spans and per-frame timestamps into a ring
+	// of TraceRounds rounds, stamps a compact trace context onto every
+	// outgoing frame, and — in elastic mode — pushes completed round
+	// digests to the coordinator on heartbeats. Retrieve the tracer with
+	// PeerNode.Tracer() and serve it with TraceHandler.
+	TraceRounds int
 }
 
 // NewPeerNode builds a TCP edge server.
@@ -165,7 +173,18 @@ func NewPeerNode(cfg PeerConfig) (*PeerNode, error) {
 		ConnectTimeout: cfg.ConnectTimeout,
 		Logf:           cfg.Logf,
 		Obs:            cfg.Obs,
+		Tracer:         newTracerFor(cfg, cfg.ID),
 	})
+}
+
+// newTracerFor builds the node tracer requested by cfg.TraceRounds (nil
+// when tracing is off). The node id is passed separately because elastic
+// nodes only learn theirs from the coordinator.
+func newTracerFor(cfg PeerConfig, id int) *trace.Tracer {
+	if cfg.TraceRounds <= 0 {
+		return nil
+	}
+	return trace.New(trace.Config{Node: id, Rounds: cfg.TraceRounds})
 }
 
 // validateWRow checks a user-supplied weight row against the topology:
@@ -252,6 +271,7 @@ func newElasticPeerNode(cfg PeerConfig) (*PeerNode, error) {
 		ConnectTimeout: cfg.ConnectTimeout,
 		Logf:           cfg.Logf,
 		Obs:            cfg.Obs,
+		Tracer:         newTracerFor(cfg, client.ID()),
 	})
 	if err != nil {
 		client.Close()
