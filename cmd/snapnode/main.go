@@ -67,6 +67,7 @@ func main() {
 		eventsPath  = flag.String("events", "", "append round-lifecycle events as JSON lines to this file (\"-\" = stderr; empty = off)")
 		pprofOn     = flag.Bool("pprof", true, "also mount /debug/pprof on -metrics-addr; disable on any address reachable beyond the operator (profiles expose memory contents)")
 		traceRounds = flag.Int("trace-rounds", 0, "record per-round distributed traces in a ring of this many rounds, served at /trace and pushed to the coordinator in elastic mode (0 = off)")
+		serveParams = flag.Bool("serve-params", true, "with -metrics-addr, also publish the model every round and serve the current snapshot at /params so snapserve gateways can follow this node live")
 
 		coordinator = flag.String("coordinator", "", "coordinator control-plane address; enables elastic mode (-id/-peers/-topology are then ignored)")
 		joinWait    = flag.Duration("join", 2*time.Minute, "elastic mode: how long to wait for admission and the founding quorum")
@@ -88,6 +89,7 @@ func main() {
 			EventsPath:     *eventsPath,
 			Pprof:          *pprofOn,
 			TraceRounds:    *traceRounds,
+			ServeParams:    *serveParams,
 			Coordinator:    *coordinator,
 			JoinWait:       *joinWait,
 			ListenAddr:     *listenAddr,
@@ -111,6 +113,7 @@ type faultOpts struct {
 	EventsPath     string
 	Pprof          bool
 	TraceRounds    int
+	ServeParams    bool
 
 	// Elastic mode (all unused unless Coordinator is set).
 	Coordinator string
@@ -162,26 +165,43 @@ func observability(fo faultOpts) (*snap.Observer, *snap.MetricsRegistry, *snap.E
 	return snap.NewObserver(reg, eventLog), reg, eventLog, cleanup, nil
 }
 
+// paramFeed builds the per-round model publication feed when the node
+// serves one (-metrics-addr set and -serve-params on). Nil otherwise.
+func paramFeed(fo faultOpts) *snap.ParamFeed {
+	if fo.MetricsAddr == "" || !fo.ServeParams {
+		return nil
+	}
+	return snap.NewParamFeed()
+}
+
 // serveNodeObservability starts the HTTP observability endpoint for a
 // built node: /metrics and /snapshot always, the node's own round-trace
-// digests at /trace (404 until -trace-rounds enables tracing), and
+// digests at /trace (404 until -trace-rounds enables tracing), the
+// current model snapshot at /params (404 unless -serve-params), and
 // /debug/pprof only while the operator keeps -pprof on. Returns the
 // server's close function.
 func serveNodeObservability(fo faultOpts, id int, reg *snap.MetricsRegistry,
-	eventLog *snap.EventLog, node *snap.PeerNode) (func() error, error) {
-	srv, addr, err := snap.ServeObservabilityWith(fo.MetricsAddr, snap.ObserveConfig{
+	eventLog *snap.EventLog, node *snap.PeerNode, feed *snap.ParamFeed) (func() error, error) {
+	var params = snap.ObserveConfig{
 		Node:         id,
 		Reg:          reg,
 		Log:          eventLog,
 		PprofEnabled: fo.Pprof,
 		Trace:        snap.TraceHandler(node.Tracer()),
-	})
+	}
+	if feed != nil {
+		params.Params = snap.ParamsHandler(feed)
+	}
+	srv, addr, err := snap.ServeObservabilityWith(fo.MetricsAddr, params)
 	if err != nil {
 		return nil, fmt.Errorf("start metrics server: %w", err)
 	}
 	fmt.Printf("node %d metrics on http://%s/metrics\n", id, addr)
 	if fo.TraceRounds > 0 {
 		fmt.Printf("node %d trace on http://%s/trace\n", id, addr)
+	}
+	if feed != nil {
+		fmt.Printf("node %d model snapshots on http://%s/params\n", id, addr)
 	}
 	return srv.Close, nil
 }
@@ -253,6 +273,10 @@ func run(id int, peersArg, topology string, degree float64, rounds int,
 	defer closeAnd(&err, "close -events file", cleanup)
 
 	model := snap.NewLinearSVM(ds.NumFeature)
+	feed := paramFeed(fo)
+	if feed != nil {
+		feed.SetObserver(observer, id)
+	}
 	node, err := snap.NewPeerNode(snap.PeerConfig{
 		ID:             id,
 		Topology:       topo,
@@ -270,13 +294,14 @@ func run(id int, peersArg, topology string, degree float64, rounds int,
 		Logf:           logf,
 		Obs:            observer,
 		TraceRounds:    fo.TraceRounds,
+		Feed:           feed,
 	})
 	if err != nil {
 		return err
 	}
 	defer closeAnd(&err, "close node", node.Close)
 	if fo.MetricsAddr != "" {
-		closeSrv, err := serveNodeObservability(fo, id, reg, eventLog, node)
+		closeSrv, err := serveNodeObservability(fo, id, reg, eventLog, node, feed)
 		if err != nil {
 			return err
 		}
@@ -354,6 +379,7 @@ func runElastic(rounds int, alpha float64, policyName string,
 	defer closeAnd(&err, "close -events file", cleanup)
 
 	model := snap.NewLinearSVM(ds.NumFeature)
+	feed := paramFeed(fo)
 	fmt.Printf("joining cluster via coordinator %s\n", fo.Coordinator)
 	node, err := snap.NewPeerNode(snap.PeerConfig{
 		Model:           model,
@@ -372,17 +398,23 @@ func runElastic(rounds int, alpha float64, policyName string,
 		Logf:            logf,
 		Obs:             observer,
 		TraceRounds:     fo.TraceRounds,
+		Feed:            feed,
 	})
 	if err != nil {
 		return err
 	}
 	defer closeAnd(&err, "close node", node.Close)
 	id := node.Engine().ID()
+	if feed != nil {
+		// The id only exists after admission; publications start with the
+		// first training round, so wiring the observer here is race-free.
+		feed.SetObserver(observer, id)
+	}
 	fmt.Printf("node %d admitted (epoch %d), listening on %s; training to round %d\n",
 		id, node.Epoch(), node.Addr(), rounds)
 
 	if fo.MetricsAddr != "" {
-		closeSrv, err := serveNodeObservability(fo, id, reg, eventLog, node)
+		closeSrv, err := serveNodeObservability(fo, id, reg, eventLog, node, feed)
 		if err != nil {
 			return err
 		}

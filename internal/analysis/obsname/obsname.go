@@ -17,9 +17,9 @@
 // must be named constants — snaptrace, the Chrome export, and the
 // aggregator's critical-path walk all join on these strings.
 //
-// When analyzing the obs or trace package itself, the analyzer
-// additionally verifies that no two exported name constants share a
-// value.
+// When analyzing the obs, trace, or serve package itself — each owns a
+// slice of the metric/event/span namespace — the analyzer additionally
+// verifies that no two exported name constants share a value.
 package obsname
 
 import (
@@ -39,12 +39,13 @@ var Analyzer = &lint.Analyzer{
 	Run:  run,
 }
 
-// obsPathSuffix and tracePathSuffix identify the observability and
-// tracing packages; matching by suffix keeps the analyzer working on
-// testdata copies of the API.
+// obsPathSuffix, tracePathSuffix, and servePathSuffix identify the
+// packages that declare name constants; matching by suffix keeps the
+// analyzer working on testdata copies of the API.
 const (
 	obsPathSuffix   = "internal/obs"
 	tracePathSuffix = "internal/trace"
+	servePathSuffix = "internal/serve"
 )
 
 func run(pass *lint.Pass) (any, error) {
@@ -62,7 +63,7 @@ func run(pass *lint.Pass) (any, error) {
 			return true
 		})
 	}
-	if isObsPkg(pass.Pkg.Path()) || isTracePkg(pass.Pkg.Path()) {
+	if isObsPkg(pass.Pkg.Path()) || isTracePkg(pass.Pkg.Path()) || isServePkg(pass.Pkg.Path()) {
 		checkUniqueNames(pass)
 	}
 	return nil, nil
@@ -74,6 +75,10 @@ func isObsPkg(path string) bool {
 
 func isTracePkg(path string) bool {
 	return strings.HasSuffix(path, tracePathSuffix)
+}
+
+func isServePkg(path string) bool {
+	return strings.HasSuffix(path, servePathSuffix)
 }
 
 func checkCall(pass *lint.Pass, call *ast.CallExpr) {

@@ -8,5 +8,5 @@ import (
 )
 
 func TestObsname(t *testing.T) {
-	analysistest.Run(t, "testdata", obsname.Analyzer, "a", "internal/obs", "internal/trace")
+	analysistest.Run(t, "testdata", obsname.Analyzer, "a", "internal/obs", "internal/trace", "internal/serve")
 }

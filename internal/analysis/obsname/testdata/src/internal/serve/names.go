@@ -1,0 +1,11 @@
+// Package serve stands in for the real serving package so the
+// uniqueness rule (which fires on internal/serve path suffixes) can be
+// tested in isolation.
+package serve
+
+const (
+	MServeRequests = "snap_serve_requests_total"
+	MServeRetries  = "snap_serve_requests_total" // want `constant MServeRetries duplicates the name "snap_serve_requests_total" already declared by MServeRequests`
+
+	reasonLocal = "snap_serve_requests_total" // unexported: tooling never joins on it
+)

@@ -350,6 +350,20 @@ func (e *Engine) ID() int { return e.cfg.ID }
 // honor the read-only contract use the iterate Step returns instead.
 func (e *Engine) Params() linalg.Vector { return e.x.Clone() }
 
+// ParamsInto copies the current iterate into dst, which must already have
+// NumParams entries, and returns dst. It is the allocation-free companion
+// to Params for callers that snapshot the model every round (the serving
+// feed, periodic checkpoints): the caller owns dst outright, so later
+// Steps never mutate it. Like the linalg kernels it panics on a length
+// mismatch rather than resizing.
+func (e *Engine) ParamsInto(dst linalg.Vector) linalg.Vector {
+	if len(dst) != len(e.x) {
+		panic(fmt.Sprintf("core: ParamsInto dst has %d entries, want %d", len(dst), len(e.x)))
+	}
+	copy(dst, e.x)
+	return dst
+}
+
 // Restarts returns how many APE stage transitions have restarted the
 // EXTRA recursion.
 func (e *Engine) Restarts() int { return e.restarts }

@@ -47,6 +47,60 @@ func TestParamsReturnsClone(t *testing.T) {
 	}
 }
 
+// TestParamsIntoNeverAliases guards the copy-into accessor the same way:
+// the buffer ParamsInto fills must never alias live engine state, so
+// mutating it cannot corrupt the iterate and stepping the engine cannot
+// move an earlier snapshot.
+func TestParamsIntoNeverAliases(t *testing.T) {
+	eng := newTestEngine(t, SendChanged)
+	eng.Step(0)
+
+	dst := make([]float64, eng.cfg.Model.NumParams())
+	got := eng.ParamsInto(dst)
+	if &got[0] != &dst[0] {
+		t.Fatal("ParamsInto must return the caller's buffer")
+	}
+	for i := range dst {
+		if math.Float64bits(dst[i]) != math.Float64bits(eng.x[i]) {
+			t.Fatalf("ParamsInto[%d] = %v, want iterate value %v", i, dst[i], eng.x[i])
+		}
+	}
+
+	// Mutating the filled buffer must not reach the engine.
+	before := eng.x.Clone()
+	for i := range dst {
+		dst[i] = 1e9
+	}
+	for i := range before {
+		if math.Float64bits(eng.x[i]) != math.Float64bits(before[i]) {
+			t.Fatalf("mutating ParamsInto buffer changed engine iterate at %d", i)
+		}
+	}
+
+	// Stepping the engine must not move an earlier snapshot: the filled
+	// buffer must not alias the recycled scratch either.
+	snap := eng.ParamsInto(make([]float64, eng.cfg.Model.NumParams()))
+	want := snap.Clone()
+	for r := 1; r <= 3; r++ {
+		eng.Step(r)
+	}
+	for i := range want {
+		if math.Float64bits(snap[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("Step mutated an earlier ParamsInto snapshot at %d", i)
+		}
+	}
+
+	// Wrong-size buffers panic like the linalg kernels do.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("ParamsInto with short dst must panic")
+			}
+		}()
+		eng.ParamsInto(make([]float64, 1))
+	}()
+}
+
 // TestParamsSnapshotSafeDuringSteps is the race-gated half of the Params
 // regression: a snapshot taken before a burst of training steps must be
 // readable while the training goroutine runs. With the old live-vector

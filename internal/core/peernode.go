@@ -68,6 +68,13 @@ type PeerNodeConfig struct {
 	// round digests to the coordinator on heartbeats. Nil disables tracing
 	// at zero cost.
 	Tracer *trace.Tracer
+	// Feed, when set, receives a snapshot of the model parameters at the
+	// end of every round (stamped with the round and current epoch) —
+	// the publication hook the serving plane's hot-swap feed hangs off.
+	// Publish runs synchronously in the round loop and copies the
+	// iterate, so implementations must be cheap (serve.Feed is one
+	// memcpy plus a pointer swap). Nil disables publication.
+	Feed ParamSink
 }
 
 // PeerNode runs a SNAP engine over a real TCP transport. Synchronization
@@ -399,7 +406,13 @@ func (pn *PeerNode) Run(rounds int) (*metrics.Trace, error) {
 			obs.PutFields(f)
 		}
 
-		pn.engine.Step(round)
+		iter := pn.engine.Step(round)
+		if pn.cfg.Feed != nil {
+			// Same-goroutine read of the live iterate is safe here: the
+			// engine does not touch it again until the next Step, and
+			// Publish copies before returning.
+			pn.cfg.Feed.Publish(round, int(pn.epoch.Load()), iter)
+		}
 		pn.peer.ForgetRound(round)
 
 		loss := pn.engine.LocalLoss()

@@ -22,6 +22,7 @@ type LogisticRegression struct {
 var (
 	_ Model            = (*LogisticRegression)(nil)
 	_ BatchAccumulator = (*LogisticRegression)(nil)
+	_ BatchPredictor   = (*LogisticRegression)(nil)
 )
 
 // NewLogisticRegression returns a model for d features with default
@@ -100,6 +101,15 @@ func (m *LogisticRegression) Predict(p linalg.Vector, x []float64) int {
 		return 1
 	}
 	return 0
+}
+
+// PredictScratchSize implements BatchPredictor: the logit is a single
+// dot product plus the bias, no scratch needed.
+func (m *LogisticRegression) PredictScratchSize() int { return 0 }
+
+// PredictInto implements BatchPredictor.
+func (m *LogisticRegression) PredictInto(p linalg.Vector, x []float64, _ []float64) int {
+	return m.Predict(p, x)
 }
 
 // InitParams implements Model.

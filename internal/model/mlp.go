@@ -20,6 +20,7 @@ type MLP struct {
 var (
 	_ Model            = (*MLP)(nil)
 	_ BatchAccumulator = (*MLP)(nil)
+	_ BatchPredictor   = (*MLP)(nil)
 )
 
 // NewMLP returns the paper's 784-30-10 network when called as
@@ -140,6 +141,39 @@ func (m *MLP) Predict(p linalg.Vector, x []float64) int {
 	for o := 1; o < m.Out; o++ {
 		if probs[o] > bestV {
 			best, bestV = o, probs[o]
+		}
+	}
+	return best
+}
+
+// PredictScratchSize implements BatchPredictor: the hidden activations
+// plus the output logits.
+func (m *MLP) PredictScratchSize() int { return m.Hidden + m.Out }
+
+// PredictInto implements BatchPredictor. Softmax is monotone, so the
+// argmax over the output logits matches Predict's argmax over
+// probabilities without the exp/normalize pass.
+func (m *MLP) PredictInto(p linalg.Vector, x []float64, scratch []float64) int {
+	w1o, b1o, w2o, b2o := m.offsets()
+	hidden := scratch[:m.Hidden]
+	logits := scratch[m.Hidden : m.Hidden+m.Out]
+	for h := 0; h < m.Hidden; h++ {
+		z := p[b1o+h]
+		row := p[w1o+h*m.In : w1o+(h+1)*m.In]
+		for i, xi := range x {
+			z += row[i] * xi
+		}
+		hidden[h] = sigmoid(z)
+	}
+	best, bestV := 0, math.Inf(-1)
+	for o := 0; o < m.Out; o++ {
+		z := p[b2o+o]
+		for h, hv := range hidden {
+			z += p[w2o+o*m.Hidden+h] * hv
+		}
+		logits[o] = z
+		if z > bestV {
+			best, bestV = o, z
 		}
 	}
 	return best

@@ -1,0 +1,87 @@
+package model
+
+import (
+	"github.com/snapml/snap/internal/dataset"
+	"github.com/snapml/snap/internal/linalg"
+)
+
+// BatchPredictor is the optional fast-inference capability: a model that
+// can predict into caller-owned buffers without allocating. All four
+// built-in models implement it; the serving gateway's steady-state
+// predict path depends on it for its zero-allocation budget.
+type BatchPredictor interface {
+	Model
+	// PredictScratchSize returns how many float64 scratch slots one
+	// PredictInto call needs (0 for linear binary models whose score is a
+	// single dot product).
+	PredictScratchSize() int
+	// PredictInto returns the predicted class label for features x,
+	// using scratch (len >= PredictScratchSize()) for any intermediate
+	// activations. It must be pure in (params, x) — identical to
+	// Predict — and safe for concurrent calls with disjoint scratch.
+	PredictInto(params linalg.Vector, x []float64, scratch []float64) int
+}
+
+// PredictScratch holds the reusable intermediate buffers PredictBatchInto
+// needs. One scratch belongs to one predicting goroutine (e.g. one serving
+// worker) and is reused across calls; the zero value is ready to use.
+type PredictScratch struct {
+	buf []float64
+}
+
+func (sc *PredictScratch) ensure(n int) []float64 {
+	if cap(sc.buf) < n {
+		sc.buf = make([]float64, n)
+	}
+	return sc.buf[:n]
+}
+
+// PredictBatchInto predicts the class label of every row of xs into
+// dst[:len(xs)] and returns it. dst must have len >= len(xs).
+//
+// For models implementing BatchPredictor the batch runs through
+// PredictInto with a scratch buffer recycled from sc, so the steady state
+// allocates nothing; other models fall back to Model.Predict row by row.
+// A nil sc allocates a private scratch (one allocation, not per row).
+func PredictBatchInto(m Model, dst []int, params linalg.Vector, xs [][]float64, sc *PredictScratch) []int {
+	bp, ok := m.(BatchPredictor)
+	if !ok {
+		for i, x := range xs {
+			dst[i] = m.Predict(params, x)
+		}
+		return dst[:len(xs)]
+	}
+	if sc == nil {
+		sc = &PredictScratch{}
+	}
+	scratch := sc.ensure(bp.PredictScratchSize())
+	for i, x := range xs {
+		dst[i] = bp.PredictInto(params, x, scratch)
+	}
+	return dst[:len(xs)]
+}
+
+// AccuracyBatch evaluates params on ds through the alloc-free batch
+// predict path, returning the fraction predicted correctly (0 for an
+// empty dataset). It matches Accuracy exactly; it exists so evaluation
+// loops can reuse a scratch.
+func AccuracyBatch(m Model, params linalg.Vector, ds *dataset.Dataset, sc *PredictScratch) float64 {
+	if ds.Len() == 0 {
+		return 0
+	}
+	bp, ok := m.(BatchPredictor)
+	if !ok {
+		return Accuracy(m, params, ds)
+	}
+	if sc == nil {
+		sc = &PredictScratch{}
+	}
+	scratch := sc.ensure(bp.PredictScratchSize())
+	correct := 0
+	for _, s := range ds.Samples {
+		if bp.PredictInto(params, s.X, scratch) == s.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}

@@ -23,6 +23,7 @@ type SoftmaxRegression struct {
 var (
 	_ Model            = (*SoftmaxRegression)(nil)
 	_ BatchAccumulator = (*SoftmaxRegression)(nil)
+	_ BatchPredictor   = (*SoftmaxRegression)(nil)
 )
 
 // NewSoftmaxRegression returns a model for the given shape with default
@@ -51,8 +52,12 @@ func (m *SoftmaxRegression) lambda() float64 {
 
 // logits computes the per-class scores for x.
 func (m *SoftmaxRegression) logits(p linalg.Vector, x []float64) []float64 {
+	return m.logitsInto(make([]float64, m.Classes), p, x)
+}
+
+// logitsInto computes the per-class scores for x into out (len Classes).
+func (m *SoftmaxRegression) logitsInto(out []float64, p linalg.Vector, x []float64) []float64 {
 	biasOff := m.Classes * m.Features
-	out := make([]float64, m.Classes)
 	for c := 0; c < m.Classes; c++ {
 		z := p[biasOff+c]
 		row := p[c*m.Features : (c+1)*m.Features]
@@ -124,6 +129,23 @@ func (m *SoftmaxRegression) AccumGrad(dst, p linalg.Vector, batch []dataset.Samp
 // Predict implements Model: argmax class score.
 func (m *SoftmaxRegression) Predict(p linalg.Vector, x []float64) int {
 	logits := m.logits(p, x)
+	best, bestV := 0, logits[0]
+	for c := 1; c < m.Classes; c++ {
+		if logits[c] > bestV {
+			best, bestV = c, logits[c]
+		}
+	}
+	return best
+}
+
+// PredictScratchSize implements BatchPredictor: one slot per class logit.
+func (m *SoftmaxRegression) PredictScratchSize() int { return m.Classes }
+
+// PredictInto implements BatchPredictor. Softmax is monotone, so the
+// argmax over raw logits matches Predict's argmax over class scores
+// without ever exponentiating.
+func (m *SoftmaxRegression) PredictInto(p linalg.Vector, x []float64, scratch []float64) int {
+	logits := m.logitsInto(scratch[:m.Classes], p, x)
 	best, bestV := 0, logits[0]
 	for c := 1; c < m.Classes; c++ {
 		if logits[c] > bestV {

@@ -28,6 +28,7 @@ type LinearSVM struct {
 var (
 	_ Model            = (*LinearSVM)(nil)
 	_ BatchAccumulator = (*LinearSVM)(nil)
+	_ BatchPredictor   = (*LinearSVM)(nil)
 )
 
 // NewLinearSVM returns a LinearSVM for d features with the default
@@ -96,6 +97,15 @@ func (m *LinearSVM) Predict(w linalg.Vector, x []float64) int {
 		return 1
 	}
 	return 0
+}
+
+// PredictScratchSize implements BatchPredictor: the margin is a single
+// dot product, no scratch needed.
+func (m *LinearSVM) PredictScratchSize() int { return 0 }
+
+// PredictInto implements BatchPredictor.
+func (m *LinearSVM) PredictInto(w linalg.Vector, x []float64, _ []float64) int {
+	return m.Predict(w, x)
 }
 
 // InitParams implements Model: small random weights so that the initial

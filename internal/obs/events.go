@@ -32,6 +32,9 @@ const (
 
 	// Distributed tracing.
 	EvClockSync = "clock_sync" // coordinator refreshed a member's clock offset (f: offset_seconds, delay_seconds)
+
+	// Serving plane.
+	EvModelSwap = "model_swap" // a new model snapshot was published (f: seq, epoch, params)
 )
 
 // Event is one JSONL record. Round and Peer are -1 when not applicable

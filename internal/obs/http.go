@@ -25,6 +25,10 @@ type ServeConfig struct {
 	// digests (trace.DigestHandler), the coordinator serves the merged
 	// cluster view (trace.ClusterHandler).
 	Trace http.Handler
+	// Params, when set, is mounted at /params — a training node serves
+	// its current model snapshot as a checkpoint stream
+	// (serve.ParamsHandler) so inference gateways can follow it live.
+	Params http.Handler
 }
 
 // NewHandler builds the observability handler described by cfg:
@@ -32,6 +36,7 @@ type ServeConfig struct {
 //	/metrics        Prometheus text exposition of the registry
 //	/snapshot       JSON snapshot of every metric (expvar-style)
 //	/trace          round trace digests (when cfg.Trace is set)
+//	/params         current model snapshot checkpoint (when cfg.Params is set)
 //	/debug/pprof/*  the standard pprof handlers (when cfg.PprofEnabled)
 func NewHandler(cfg ServeConfig) http.Handler {
 	mux := http.NewServeMux()
@@ -55,6 +60,9 @@ func NewHandler(cfg ServeConfig) http.Handler {
 	})
 	if cfg.Trace != nil {
 		mux.Handle("/trace", cfg.Trace)
+	}
+	if cfg.Params != nil {
+		mux.Handle("/params", cfg.Params)
 	}
 	if cfg.PprofEnabled {
 		// Explicit pprof wiring: importing net/http/pprof only registers on

@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/snapml/snap/internal/model"
+)
+
+// benchGateway builds a gateway over the paper's 24-feature SVM with a
+// published snapshot.
+func benchGateway(b *testing.B, maxBatch int, maxWait time.Duration) *Gateway {
+	b.Helper()
+	m := model.NewLinearSVM(24)
+	g, err := NewGateway(Config{
+		Model:      m,
+		Features:   24,
+		MaxBatch:   maxBatch,
+		MaxWait:    maxWait,
+		QueueDepth: 4096,
+		Workers:    2,
+		Deadline:   10 * time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(g.Close)
+	g.Feed().Publish(1, 0, m.InitParams(1))
+	return g
+}
+
+func benchRows(n int) [][]float64 {
+	rng := rand.New(rand.NewSource(7))
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, 24)
+		for j := range rows[i] {
+			rows[i][j] = rng.NormFloat64()
+		}
+	}
+	return rows
+}
+
+// BenchmarkServePredict compares the per-row cost of the gateway's two
+// operating points, measured under concurrent load with one op = one
+// row in both modes:
+//
+//   - unbatched: every row is its own request and its own batch
+//     (MaxBatch 1), so each row pays the full dispatch cycle — queue
+//     handoff, worker wakeup, snapshot acquire/release, completion
+//     signal;
+//   - batched32: rows reach the worker 32 at a time and run through the
+//     micro-batch path (collect → one acquire → one PredictBatchInto
+//     pass → fan-out), amortizing the dispatch cycle across the batch.
+//
+// The acceptance floor for this PR is batched throughput >= 2x
+// unbatched at batch size 32. Coalescing waits are disabled in both
+// modes so the comparison is pure batching, not timer policy (and a
+// closed-loop benchmark would otherwise absorb every in-flight request
+// into held batches and sleep MaxWait waiting for arrivals that cannot
+// come).
+func BenchmarkServePredict(b *testing.B) {
+	rows := benchRows(256)
+	b.Run("unbatched", func(b *testing.B) {
+		g := benchGateway(b, 1, -1)
+		b.SetParallelism(32)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			ctx := context.Background()
+			i := 0
+			for pb.Next() {
+				if _, _, err := g.Predict(ctx, rows[i%len(rows)]); err != nil {
+					b.Fatal(err)
+				}
+				i++
+			}
+		})
+	})
+	b.Run("batched32", func(b *testing.B) {
+		g := benchGateway(b, 32, -1)
+		b.SetParallelism(8)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			ctx := context.Background()
+			batch := make([][]float64, 0, 32)
+			dst := make([]int, 32)
+			i := 0
+			for pb.Next() {
+				batch = append(batch, rows[i%len(rows)])
+				i++
+				if len(batch) == 32 {
+					if _, err := g.PredictManyInto(ctx, dst, batch); err != nil {
+						b.Fatal(err)
+					}
+					batch = batch[:0]
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkServePredictMany measures the multi-row entry point at the
+// acceptance batch size.
+func BenchmarkServePredictMany(b *testing.B) {
+	g := benchGateway(b, 32, -1)
+	rows := benchRows(32)
+	dst := make([]int, len(rows))
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.PredictManyInto(ctx, dst, rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestPredictSteadyStateAllocs pins the allocation budget of the
+// serving hot path: one warmed-up single-row Predict through queue,
+// worker, compute, and completion. The budget is 1 allocation per
+// predict — Go allocates a sudog the first few times a goroutine parks
+// on the pooled request's channel, and the pool's round-robin across
+// worker wakeups keeps a small residual; everything the gateway itself
+// owns (requests, rows, labels, scratch) is reused.
+func TestPredictSteadyStateAllocs(t *testing.T) {
+	g := newTestGateway(t, Config{
+		MaxBatch: 1,
+		MaxWait:  -1,
+		Workers:  1,
+	})
+	publishN(g.Feed(), 0, 0, 4, 1)
+	ctx := context.Background()
+	x := []float64{1, 0, 0, 0}
+	for i := 0; i < 100; i++ {
+		if _, _, err := g.Predict(ctx, x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, _, err := g.Predict(ctx, x); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("steady-state Predict allocates %.2f/op, budget 1", allocs)
+	}
+}

@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// FuzzPredictRequest throws arbitrary bytes at POST /v1/predict. The
+// invariants: the handler never panics, never reports a 5xx for a
+// malformed payload (the gateway is loaded, so the only valid statuses
+// are 200 for a well-formed request and 4xx for a bad one), and every
+// 200 carries a well-formed response with one label per input row.
+func FuzzPredictRequest(f *testing.F) {
+	// Well-formed seeds.
+	f.Add(`{"features":[1,2,3,4]}`)
+	f.Add(`{"instances":[[1,2,3,4],[0,0,0,0]]}`)
+	f.Add(`{"features":[-1.5,2.25e10,-3e-5,0]}`)
+	// Malformed seeds: wrong dims, wrong shapes, overflow, junk.
+	f.Add(`{"features":[1,2,3]}`)
+	f.Add(`{"features":[1,2,3,4,5]}`)
+	f.Add(`{"instances":[[1,2,3,4],[1,2]]}`)
+	f.Add(`{"features":[1,2,3,1e999]}`)
+	f.Add(`{"features":[1,2,3,null]}`)
+	f.Add(`{"features":"not an array"}`)
+	f.Add(`{"instances":[[1,2,3,4]],"features":[1,2,3,4]}`)
+	f.Add(`{}`)
+	f.Add(`[]`)
+	f.Add(`null`)
+	f.Add(``)
+	f.Add(`{"features":[`)
+	f.Add("\x00\x01\x02")
+	f.Add(`{"unknown":true}`)
+
+	m := &signModel{params: 4}
+	g, err := NewGateway(Config{Model: m, Features: 4})
+	if err != nil {
+		f.Fatal(err)
+	}
+	defer g.Close()
+	publishN(g.Feed(), 1, 0, 4, 1)
+	h := NewHTTPHandler(g)
+
+	f.Fuzz(func(t *testing.T, body string) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/predict", strings.NewReader(body))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req) // must not panic
+		switch {
+		case w.Code == http.StatusOK:
+			var resp predictResponse
+			if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("200 with undecodable body %q: %v", w.Body, err)
+			}
+			if len(resp.Predictions) == 0 {
+				t.Fatalf("200 with no predictions for body %q", body)
+			}
+		case w.Code >= 400 && w.Code < 500:
+			var resp errorResponse
+			if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("%d with undecodable error body %q: %v", w.Code, w.Body, err)
+			}
+			if resp.Error == "" {
+				t.Fatalf("%d with empty error message for body %q", w.Code, body)
+			}
+		default:
+			t.Fatalf("status %d for body %q (want 200 or 4xx)", w.Code, body)
+		}
+	})
+}

@@ -1,0 +1,297 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/snapml/snap/internal/dataset"
+	"github.com/snapml/snap/internal/linalg"
+	"github.com/snapml/snap/internal/model"
+	"github.com/snapml/snap/internal/obs"
+)
+
+// signModel is a deterministic test model: label 1 iff the first feature
+// is positive, with a fixed parameter count. It keeps gateway tests
+// independent of real model numerics.
+type signModel struct{ params int }
+
+func (m *signModel) Name() string                                 { return "sign" }
+func (m *signModel) NumParams() int                               { return m.params }
+func (m *signModel) Loss(linalg.Vector, []dataset.Sample) float64 { return 0 }
+func (m *signModel) Gradient(linalg.Vector, []dataset.Sample) linalg.Vector {
+	return linalg.NewVector(m.params)
+}
+func (m *signModel) InitParams(int64) linalg.Vector { return linalg.NewVector(m.params) }
+func (m *signModel) Predict(_ linalg.Vector, x []float64) int {
+	if x[0] > 0 {
+		return 1
+	}
+	return 0
+}
+
+// gateModel blocks every Predict until the gate channel is closed,
+// letting tests hold a worker busy while they fill the queue. Each entry
+// into Predict is announced on entered first.
+type gateModel struct {
+	signModel
+	gate    chan struct{}
+	entered chan struct{}
+}
+
+func newGateModel() *gateModel {
+	return &gateModel{
+		signModel: signModel{params: 4},
+		gate:      make(chan struct{}),
+		entered:   make(chan struct{}, 64),
+	}
+}
+
+func (m *gateModel) Predict(p linalg.Vector, x []float64) int {
+	m.entered <- struct{}{}
+	<-m.gate
+	return m.signModel.Predict(p, x)
+}
+
+func newTestGateway(t *testing.T, cfg Config) *Gateway {
+	t.Helper()
+	if cfg.Model == nil {
+		cfg.Model = &signModel{params: 4}
+	}
+	if cfg.Features == 0 {
+		cfg.Features = 4
+	}
+	g, err := NewGateway(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.Close)
+	return g
+}
+
+func publishN(f *Feed, round, epoch, n int, fill float64) {
+	v := linalg.NewVector(n)
+	v.Fill(fill)
+	f.Publish(round, epoch, v)
+}
+
+func TestGatewayPredict(t *testing.T) {
+	g := newTestGateway(t, Config{})
+	publishN(g.Feed(), 7, 2, 4, 1)
+
+	label, v, err := g.Predict(context.Background(), []float64{3, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if label != 1 {
+		t.Fatalf("Predict = %d, want 1", label)
+	}
+	if v.Round != 7 || v.Epoch != 2 {
+		t.Fatalf("version = %+v, want round 7 epoch 2", v)
+	}
+
+	xs := [][]float64{{1, 0, 0, 0}, {-1, 0, 0, 0}, {5, 0, 0, 0}}
+	dst := make([]int, len(xs))
+	v, err = g.PredictManyInto(context.Background(), dst, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 0, 1}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("PredictManyInto[%d] = %d, want %d", i, dst[i], want[i])
+		}
+	}
+	if v.Round != 7 {
+		t.Fatalf("batch version round = %d, want 7", v.Round)
+	}
+}
+
+func TestGatewayRealModel(t *testing.T) {
+	m := model.NewLinearSVM(4)
+	g := newTestGateway(t, Config{Model: m, Features: 4})
+	params := m.InitParams(42)
+	g.Feed().Publish(1, 0, params)
+
+	x := []float64{0.5, -1, 2, 0.25}
+	label, _, err := g.Predict(context.Background(), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := m.Predict(params, x); label != want {
+		t.Fatalf("gateway label %d, direct Predict %d", label, want)
+	}
+}
+
+func TestGatewayNoModel(t *testing.T) {
+	g := newTestGateway(t, Config{})
+	if g.Ready() {
+		t.Fatal("empty gateway reports ready")
+	}
+	_, _, err := g.Predict(context.Background(), []float64{1, 0, 0, 0})
+	if !errors.Is(err, ErrNoModel) {
+		t.Fatalf("err = %v, want ErrNoModel", err)
+	}
+}
+
+func TestGatewayOverload(t *testing.T) {
+	gm := newGateModel()
+	reg := obs.NewRegistry()
+	g := newTestGateway(t, Config{
+		Model:      gm,
+		Features:   4,
+		Workers:    1,
+		QueueDepth: 1,
+		MaxBatch:   1,
+		MaxWait:    -1, // no coalescing wait: the worker grabs one and blocks in Predict
+		Obs:        &obs.Observer{Reg: reg},
+	})
+	publishN(g.Feed(), 0, 0, 4, 1)
+
+	// First request occupies the worker (blocked in the gated model),
+	// second fills the queue, third must be rejected immediately.
+	results := make(chan error, 2)
+	go func() {
+		_, _, err := g.Predict(context.Background(), []float64{1, 0, 0, 0})
+		results <- err
+	}()
+	<-gm.entered // worker is now inside the gated Predict
+	go func() {
+		_, _, err := g.Predict(context.Background(), []float64{1, 0, 0, 0})
+		results <- err
+	}()
+	waitUntil(t, func() bool { return g.depth.Load() >= 1 }) // second parked in queue
+
+	_, _, err := g.Predict(context.Background(), []float64{1, 0, 0, 0})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if got := reg.Counter(obs.Label(MServeRejects, LReason, ReasonQueueFull)).Value(); got != 1 {
+		t.Fatalf("queue_full rejects = %d, want 1", got)
+	}
+
+	close(gm.gate)
+	for i := 0; i < 2; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("blocked request %d failed: %v", i, err)
+		}
+	}
+}
+
+func TestGatewayDeadline(t *testing.T) {
+	gm := newGateModel()
+	reg := obs.NewRegistry()
+	g := newTestGateway(t, Config{
+		Model:    gm,
+		Features: 4,
+		Workers:  1,
+		MaxBatch: 1,
+		MaxWait:  -1,
+		Deadline: 30 * time.Millisecond,
+		Obs:      &obs.Observer{Reg: reg},
+	})
+	publishN(g.Feed(), 0, 0, 4, 1)
+
+	// Occupy the worker, then queue a second request and let its
+	// deadline lapse before the worker frees up.
+	first := make(chan error, 1)
+	go func() {
+		_, _, err := g.Predict(context.Background(), []float64{1, 0, 0, 0})
+		first <- err
+	}()
+	<-gm.entered // worker is now inside the gated Predict
+
+	second := make(chan error, 1)
+	go func() {
+		_, _, err := g.Predict(context.Background(), []float64{1, 0, 0, 0})
+		second <- err
+	}()
+	waitUntil(t, func() bool { return g.depth.Load() >= 1 }) // second parked in queue
+
+	time.Sleep(60 * time.Millisecond) // both deadlines lapse
+	close(gm.gate)
+
+	// The first was already executing; whether it finishes depends on
+	// scheduling, but the queued second must be shed with ErrDeadline.
+	<-first
+	if err := <-second; !errors.Is(err, ErrDeadline) && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued request err = %v, want deadline error", err)
+	}
+	if got := reg.Counter(obs.Label(MServeRejects, LReason, ReasonDeadline)).Value(); got < 1 {
+		t.Fatalf("deadline rejects = %d, want >= 1", got)
+	}
+}
+
+func TestGatewayClose(t *testing.T) {
+	g := newTestGateway(t, Config{})
+	publishN(g.Feed(), 0, 0, 4, 1)
+	g.Close()
+	_, _, err := g.Predict(context.Background(), []float64{1, 0, 0, 0})
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("err after Close = %v, want ErrClosed", err)
+	}
+	g.Close() // idempotent
+}
+
+func TestGatewayMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := newTestGateway(t, Config{Obs: &obs.Observer{Reg: reg}})
+	publishN(g.Feed(), 3, 1, 4, 1)
+
+	for i := 0; i < 5; i++ {
+		if _, _, err := g.Predict(context.Background(), []float64{1, 0, 0, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Counter(MServeRequests).Value(); got != 5 {
+		t.Fatalf("requests = %d, want 5", got)
+	}
+	if got := reg.Counter(MServePredictions).Value(); got != 5 {
+		t.Fatalf("predictions = %d, want 5", got)
+	}
+	if got := reg.Counter(MServeBatches).Value(); got < 1 || got > 5 {
+		t.Fatalf("batches = %d, want 1..5", got)
+	}
+	if got := reg.Histogram(MServeLatency, obs.TimeBuckets).Count(); got != 5 {
+		t.Fatalf("latency observations = %d, want 5", got)
+	}
+	if got := reg.Counter(MServeSwaps).Value(); got != 1 {
+		t.Fatalf("swaps = %d, want 1", got)
+	}
+	if got := reg.Gauge(MServeModelRound).Value(); got != 3 {
+		t.Fatalf("model round gauge = %v, want 3", got)
+	}
+}
+
+func TestGatewayConfigValidation(t *testing.T) {
+	if _, err := NewGateway(Config{Features: 4}); err == nil {
+		t.Fatal("NewGateway without a model must fail")
+	}
+	if _, err := NewGateway(Config{Model: &signModel{params: 4}}); err == nil {
+		t.Fatal("NewGateway without Features must fail")
+	}
+}
+
+func TestPredictManyIntoShortDst(t *testing.T) {
+	g := newTestGateway(t, Config{})
+	publishN(g.Feed(), 0, 0, 4, 1)
+	_, err := g.PredictManyInto(context.Background(), make([]int, 1), [][]float64{{1, 0, 0, 0}, {2, 0, 0, 0}})
+	if err == nil {
+		t.Fatal("short dst must fail")
+	}
+	if _, err := g.PredictManyInto(context.Background(), nil, nil); err != nil {
+		t.Fatalf("empty request should be a no-op, got %v", err)
+	}
+}
+
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 2s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -106,6 +106,12 @@ type PeerConfig struct {
 	// round-lifecycle events; serve them with ServeObservability. Nil
 	// disables observation.
 	Obs *Observer
+	// Feed, when set, receives a snapshot of the node's parameters at
+	// the end of every round — the publication hook the serving plane
+	// hangs off. Serve from it locally with NewGateway, or expose it to
+	// remote gateways by mounting ParamsHandler(feed) via
+	// ObserveConfig.Params.
+	Feed *ParamFeed
 	// TraceRounds, when positive, enables distributed tracing: the node
 	// records per-round phase spans and per-frame timestamps into a ring
 	// of TraceRounds rounds, stamps a compact trace context onto every
@@ -174,7 +180,17 @@ func NewPeerNode(cfg PeerConfig) (*PeerNode, error) {
 		Logf:           cfg.Logf,
 		Obs:            cfg.Obs,
 		Tracer:         newTracerFor(cfg, cfg.ID),
+		Feed:           feedSink(cfg.Feed),
 	})
+}
+
+// feedSink adapts the optional feed to core's sink interface without
+// ever boxing a nil pointer into a non-nil interface.
+func feedSink(f *ParamFeed) core.ParamSink {
+	if f == nil {
+		return nil
+	}
+	return f
 }
 
 // newTracerFor builds the node tracer requested by cfg.TraceRounds (nil
@@ -272,6 +288,7 @@ func newElasticPeerNode(cfg PeerConfig) (*PeerNode, error) {
 		Logf:           cfg.Logf,
 		Obs:            cfg.Obs,
 		Tracer:         newTracerFor(cfg, client.ID()),
+		Feed:           feedSink(cfg.Feed),
 	})
 	if err != nil {
 		client.Close()

@@ -1,0 +1,58 @@
+package snap
+
+import (
+	"net/http"
+
+	"github.com/snapml/snap/internal/serve"
+)
+
+// Inference serving: a ParamFeed is the hot-swap point between training
+// and serving (publish a model version, readers always see a complete
+// snapshot), and a Gateway coalesces prediction requests into
+// micro-batches with admission control, exposed over HTTP by
+// GatewayHandler. See DESIGN.md §13 and the "Serving predictions"
+// walkthrough in README.md.
+type (
+	// ParamFeed holds the current model snapshot and swaps in new
+	// versions atomically. Attach one to a training node via
+	// PeerConfig.Feed (or publish into it yourself) and serve from it
+	// with a Gateway; expose it to remote gateways with ParamsHandler.
+	ParamFeed = serve.Feed
+	// ModelSnapshot is one immutable published model version.
+	ModelSnapshot = serve.Snapshot
+	// Gateway batches prediction requests against a feed's snapshot.
+	Gateway = serve.Gateway
+	// GatewayConfig parameterizes NewGateway (model, feature dim,
+	// batching, queue bounds, deadlines, observability).
+	GatewayConfig = serve.Config
+	// ModelVersion stamps a prediction with the training round and
+	// control-plane epoch of the snapshot that produced it.
+	ModelVersion = serve.Version
+	// Follower polls a training node's /params endpoint and hot-loads
+	// new snapshots into a gateway.
+	Follower = serve.Follower
+)
+
+// Gateway admission errors (HTTP: 429, 503, 503).
+var (
+	ErrOverloaded = serve.ErrOverloaded
+	ErrNoModel    = serve.ErrNoModel
+	ErrClosed     = serve.ErrClosed
+)
+
+// NewParamFeed returns an empty feed. Publish model versions into it
+// (PeerConfig.Feed does this every round) and serve from it with a
+// Gateway.
+func NewParamFeed() *ParamFeed { return serve.NewFeed() }
+
+// NewGateway starts a prediction gateway; callers must Close it.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) { return serve.NewGateway(cfg) }
+
+// GatewayHandler is the gateway's HTTP API: POST /v1/predict,
+// GET/PUT /v1/model, /healthz, /readyz.
+func GatewayHandler(g *Gateway) http.Handler { return serve.NewHTTPHandler(g) }
+
+// ParamsHandler serves a feed's current snapshot as a checkpoint stream
+// (the format Follower polls). Mount it on a training node's
+// observability server via ObserveConfig.Params.
+func ParamsHandler(f *ParamFeed) http.Handler { return serve.ParamsHandler(f) }
