@@ -5,6 +5,12 @@
 //	wiretag   — wire structs fully covered by explicit json/wire tags
 //	obsname   — metric/event names are internal/obs constants, unique
 //	floatdet  — deterministic float reductions in the numeric packages
+//	allocfree — //snap:alloc-free functions contain no allocating
+//	            constructs and call only alloc-free callees (via Facts)
+//	bufown    — //snap:returns-borrowed results are not retained;
+//	            consumed buffers are not used after hand-off
+//	golife    — goroutines in the serving/transport planes are
+//	            cancellable and not spawned in unbounded loops
 //
 // Two modes share the analyzers:
 //
@@ -14,15 +20,34 @@
 // The vettool mode speaks cmd/go's unitchecker protocol (-V=full,
 // -flags, one JSON .cfg per compilation unit), so results are cached
 // per package like any other vet run, and _test.go files are covered.
+// Cross-package facts ride the protocol's .vetx files; the standalone
+// mode propagates them in-process over `go list -deps` dependency
+// order.
+//
+// Findings may be waived at a single site with
+// `//snaplint:ignore <analyzer>[,<analyzer>] <reason>` on the same or
+// the preceding line; the reason is mandatory.
+//
+// Exit codes: 0 no findings, 1 findings reported, 2 the tool itself
+// failed (bad flags, a package failed to load or typecheck, an
+// analyzer crashed).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"go/token"
+	"io"
 	"os"
+	"sort"
 	"strings"
 
+	"github.com/snapml/snap/internal/analysis/allocfree"
+	"github.com/snapml/snap/internal/analysis/bufown"
+	"github.com/snapml/snap/internal/analysis/facts"
 	"github.com/snapml/snap/internal/analysis/floatdet"
+	"github.com/snapml/snap/internal/analysis/golife"
 	"github.com/snapml/snap/internal/analysis/lint"
 	"github.com/snapml/snap/internal/analysis/load"
 	"github.com/snapml/snap/internal/analysis/lockguard"
@@ -37,6 +62,9 @@ func analyzers() []*lint.Analyzer {
 		wiretag.Analyzer,
 		obsname.Analyzer,
 		floatdet.Analyzer,
+		allocfree.Analyzer,
+		bufown.Analyzer,
+		golife.Analyzer,
 	}
 }
 
@@ -81,18 +109,39 @@ func main() {
 		return
 	}
 
-	os.Exit(standalone(args, as))
+	os.Exit(standalone(args, as, os.Stdout, os.Stderr))
 }
 
-func standalone(args []string, as []*lint.Analyzer) int {
-	fs := flag.NewFlagSet("snaplint", flag.ExitOnError)
-	tests := fs.Bool("tests", true, "also analyze _test.go files (test variants)")
-	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: snaplint [-tests=false] [packages]\n   or: go vet -vettool=<path to snaplint> [packages]\n\nAnalyzers:\n")
-		for _, a := range as {
-			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+// Usage prints the help text: the invocation forms and one line per
+// registered analyzer. A golden test pins this output so the analyzer
+// roster cannot drift from the documentation silently.
+func Usage(w io.Writer, as []*lint.Analyzer) {
+	fmt.Fprintf(w, "usage: snaplint [-tests=false] [-json] [packages]\n   or: go vet -vettool=<path to snaplint> [packages]\n\nAnalyzers:\n")
+	for _, a := range as {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
 		}
+		fmt.Fprintf(w, "  %-10s %s\n", a.Name, doc)
 	}
+}
+
+// A finding is one diagnostic in the -json output schema (and the
+// sort key for deterministic text output).
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func standalone(args []string, as []*lint.Analyzer, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("snaplint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tests := fs.Bool("tests", true, "also analyze _test.go files (test variants)")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	fs.Usage = func() { Usage(stderr, as) }
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -101,14 +150,29 @@ func standalone(args []string, as []*lint.Analyzer) int {
 		patterns = []string{"./..."}
 	}
 
-	units, err := load.Load(load.Config{Tests: *tests}, patterns...)
+	units, failures, err := load.Load(load.Config{Tests: *tests, Deps: true}, patterns...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "snaplint:", err)
+		fmt.Fprintln(stderr, "snaplint:", err)
 		return 2
 	}
+	for _, f := range failures {
+		fmt.Fprintf(stderr, "snaplint: cannot analyze %s\n", f)
+	}
 
-	found := 0
+	store := facts.NewStore(as)
+	var findings []finding
+	broken := false
 	for _, u := range units {
+		// Facts-only units (dependencies, test-shadowed plain packages)
+		// exist to feed facts to later units; their diagnostics are
+		// discarded.
+		factsOnly := u.FactsOnly
+		ignores := lint.NewIgnoreIndex(u.Fset, u.Files)
+		if !factsOnly {
+			for _, d := range ignores.Bad {
+				findings = append(findings, toFinding(u.Fset, "snaplint", d))
+			}
+		}
 		for _, a := range as {
 			pass := &lint.Pass{
 				Analyzer:  a,
@@ -117,20 +181,68 @@ func standalone(args []string, as []*lint.Analyzer) int {
 				Pkg:       u.Pkg,
 				TypesInfo: u.Info,
 			}
+			store.Install(pass)
 			name := a.Name
 			pass.Report = func(d lint.Diagnostic) {
-				found++
-				fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", u.Fset.Position(d.Pos), d.Message, name)
+				if factsOnly || ignores.Ignored(d.Pos, name) {
+					return
+				}
+				findings = append(findings, toFinding(u.Fset, name, d))
 			}
 			if _, err := a.Run(pass); err != nil {
-				fmt.Fprintf(os.Stderr, "snaplint: %s: %s: %v\n", u.Pkg.Path(), a.Name, err)
-				return 2
+				fmt.Fprintf(stderr, "snaplint: %s: %s: %v\n", u.Pkg.Path(), a.Name, err)
+				broken = true
 			}
 		}
 	}
-	if found > 0 {
-		fmt.Fprintf(os.Stderr, "snaplint: %d finding(s)\n", found)
+
+	// Deterministic order regardless of package iteration: by file,
+	// line, column, analyzer, message.
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []finding{} // "[]", not "null"
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, "snaplint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintf(stderr, "%s:%d:%d: %s [%s]\n", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+		}
+	}
+
+	switch {
+	case broken || len(failures) > 0:
+		fmt.Fprintf(stderr, "snaplint: %d finding(s), %d package(s) failed to load\n", len(findings), len(failures))
+		return 2
+	case len(findings) > 0:
+		fmt.Fprintf(stderr, "snaplint: %d finding(s)\n", len(findings))
 		return 1
 	}
 	return 0
+}
+
+func toFinding(fset *token.FileSet, analyzer string, d lint.Diagnostic) finding {
+	p := fset.Position(d.Pos)
+	return finding{File: p.Filename, Line: p.Line, Col: p.Column, Analyzer: analyzer, Message: d.Message}
 }

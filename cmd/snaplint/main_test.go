@@ -1,0 +1,197 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestUsageGolden pins the help text byte-for-byte. Adding, renaming,
+// or reordering an analyzer must show up here — the roster in the help
+// output is documentation, and this keeps it from drifting silently.
+func TestUsageGolden(t *testing.T) {
+	const want = `usage: snaplint [-tests=false] [-json] [packages]
+   or: go vet -vettool=<path to snaplint> [packages]
+
+Analyzers:
+  lockguard  check that fields annotated ` + "`// guarded by <mu>`" + ` are accessed under that mutex, and that no field mixes sync/atomic and plain access
+  wiretag    check that every exported field of a wire struct (snap:wire marker, tagged sibling, or json-encoded) has an explicit json/wire tag
+  obsname    check that metric/event names passed to internal/obs are named constants, and that declared names are unique
+  floatdet   flag nondeterministic float reductions (map-order accumulation) and exact float equality in the numeric packages
+  allocfree  //snap:alloc-free functions must not allocate and may only call alloc-free callees
+  bufown     borrowed results are not retained, consumed buffers are not reused, borrowed params do not escape
+  golife     goroutines in the serving planes must be cancellable and not spawned in unbounded loops
+`
+	var buf bytes.Buffer
+	Usage(&buf, analyzers())
+	if buf.String() != want {
+		t.Errorf("usage output drifted:\n got:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+// writeModule lays out a throwaway module exercising the standalone
+// driver end to end: `dep` exports an annotated-clean function, an
+// unannotated allocator, and a deliberate violation; `c` imports it;
+// `clean` has no findings at all.
+func writeModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module example.com/tmp\n\ngo 1.22\n",
+		"clean/clean.go": `package clean
+
+// Add is trivially finding-free.
+func Add(a, b int) int { return a + b }
+`,
+		"dep/dep.go": `package dep
+
+// Fast is alloc-free and exports that as a fact.
+//
+//snap:alloc-free
+func Fast(x []int) int {
+	s := 0
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// Plain allocates and says nothing about it (body unchecked).
+func Plain() []int { return make([]int, 4) }
+
+// Liar claims the contract and breaks it. When dep is loaded
+// facts-only as a dependency, this violation must be discarded.
+//
+//snap:alloc-free
+func Liar() []int { return make([]int, 1) }
+`,
+		"c/c.go": `package c
+
+import "example.com/tmp/dep"
+
+// Hot calls a dependency function whose alloc-free fact arrived over
+// the facts-only unit: no finding.
+//
+//snap:alloc-free
+func Hot(x []int) int { return dep.Fast(x) }
+
+// Bad calls an unannotated dependency function: one finding here.
+//
+//snap:alloc-free
+func Bad() []int { return dep.Plain() }
+`,
+	}
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func chdir(t *testing.T, dir string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(old) })
+}
+
+func TestStandaloneExitCodes(t *testing.T) {
+	chdir(t, writeModule(t))
+	as := analyzers()
+
+	var stdout, stderr bytes.Buffer
+	if code := standalone([]string{"./clean"}, as, &stdout, &stderr); code != 0 {
+		t.Errorf("clean package: exit %d, want 0\nstderr: %s", code, stderr.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := standalone([]string{"./c"}, as, &stdout, &stderr); code != 1 {
+		t.Errorf("package with findings: exit %d, want 1\nstderr: %s", code, stderr.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := standalone([]string{"./nonexistent"}, as, &stdout, &stderr); code != 2 {
+		t.Errorf("unloadable pattern: exit %d, want 2\nstderr: %s", code, stderr.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := standalone([]string{"-no-such-flag"}, as, &stdout, &stderr); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "usage: snaplint") {
+		t.Errorf("bad flag did not print usage:\n%s", stderr.String())
+	}
+}
+
+// TestStandaloneDepFactsAndJSON drives the cross-package story: linting
+// only ./c must pull dep's facts through a facts-only unit (so Hot is
+// clean and Bad is flagged) while discarding dep's own diagnostics
+// (Liar stays silent). The -json output must be a valid, deterministic
+// array.
+func TestStandaloneDepFactsAndJSON(t *testing.T) {
+	chdir(t, writeModule(t))
+
+	var stdout, stderr bytes.Buffer
+	code := standalone([]string{"-json", "./c"}, analyzers(), &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr: %s", code, stderr.String())
+	}
+
+	var findings []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings = %d, want exactly 1 (Bad → dep.Plain):\n%s", len(findings), stdout.String())
+	}
+	f := findings[0]
+	if f.Analyzer != "allocfree" || !strings.Contains(f.Message, "Plain") {
+		t.Errorf("finding = %+v, want an allocfree report about dep.Plain", f)
+	}
+	if !strings.HasSuffix(f.File, "c.go") || f.Line == 0 || f.Col == 0 {
+		t.Errorf("finding position = %s:%d:%d, want a real position in c.go", f.File, f.Line, f.Col)
+	}
+	for _, f := range findings {
+		if strings.Contains(f.Message, "Fast") {
+			t.Errorf("dep.Fast flagged — dependency facts were not propagated: %+v", f)
+		}
+		if strings.Contains(f.File, "dep.go") {
+			t.Errorf("facts-only unit leaked a diagnostic: %+v", f)
+		}
+	}
+}
+
+// TestStandaloneJSONCleanIsEmptyArray pins the contract CI depends on:
+// no findings still emits "[]", never "null".
+func TestStandaloneJSONCleanIsEmptyArray(t *testing.T) {
+	chdir(t, writeModule(t))
+	var stdout, stderr bytes.Buffer
+	if code := standalone([]string{"-json", "./clean"}, analyzers(), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, want 0\nstderr: %s", code, stderr.String())
+	}
+	if got := strings.TrimSpace(stdout.String()); got != "[]" {
+		t.Errorf("clean -json output = %q, want []", got)
+	}
+}

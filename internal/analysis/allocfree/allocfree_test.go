@@ -1,0 +1,19 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"github.com/snapml/snap/internal/analysis/allocfree"
+	"github.com/snapml/snap/internal/analysis/analysistest"
+)
+
+func TestAllocFree(t *testing.T) {
+	analysistest.Run(t, "testdata", allocfree.Analyzer, "a")
+}
+
+// TestCrossPackageFacts lists the dependency (b) before the dependent
+// (c), so the //snap: contracts exported while analyzing b are visible
+// as facts when c's call sites are checked.
+func TestCrossPackageFacts(t *testing.T) {
+	analysistest.Run(t, "testdata", allocfree.Analyzer, "b", "c")
+}

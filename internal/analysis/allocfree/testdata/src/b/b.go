@@ -1,0 +1,33 @@
+// Package b is the dependency side of the cross-package fact test:
+// its annotations are exported as facts while b is analyzed, and
+// package c (which imports b) relies on them.
+package b
+
+//snap:alloc-free
+func AddTo(dst, a, b []float64) {
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+//snap:allocs-amortized
+func Grow(buf []byte, n int) []byte {
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	return buf[:n]
+}
+
+// Plain carries no contract.
+func Plain() {}
+
+type Kernel struct{}
+
+//snap:alloc-free
+func (Kernel) Apply(dst []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+}
+
+func (Kernel) Reset() {}

@@ -1,0 +1,17 @@
+// Package c imports package b and checks that b's //snap: contracts
+// arrived as facts: annotated callees pass, unannotated ones are
+// findings even though their declarations live in another compilation
+// unit.
+package c
+
+import "github.com/snapml/snap/internal/analysis/allocfree/testdata/src/b"
+
+//snap:alloc-free
+func hot(dst, x, y []float64, buf []byte, k b.Kernel) int {
+	b.AddTo(dst, x, y)   // ok: alloc-free fact imported from b
+	buf = b.Grow(buf, 8) // ok: amortized fact imported from b
+	k.Apply(dst)         // ok: method fact imported from b
+	b.Plain()            // want `call to Plain is not alloc-free`
+	k.Reset()            // want `call to Reset is not alloc-free`
+	return len(buf)
+}

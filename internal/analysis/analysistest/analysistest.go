@@ -21,6 +21,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/snapml/snap/internal/analysis/facts"
 	"github.com/snapml/snap/internal/analysis/lint"
 	"github.com/snapml/snap/internal/analysis/load"
 )
@@ -34,33 +35,52 @@ type key struct {
 // mismatches via t. The testdata packages live inside the module, so
 // `go list` resolves their imports (including intra-repo ones) against
 // the build cache.
+//
+// All named packages share one fact store and are analyzed in the
+// given order, so cross-package fact propagation is testable: list the
+// dependency before the dependent (Run(t, td, a, "b", "a") where
+// package a imports package b), and diagnostics in a derived from
+// facts exported while analyzing b match `// want` expectations like
+// any other. `//snaplint:ignore` waivers are honored exactly as in the
+// real drivers — a waived diagnostic needs no want, and a malformed
+// directive is itself a reportable diagnostic.
 func Run(t *testing.T, testdata string, a *lint.Analyzer, pkgs ...string) {
 	t.Helper()
+	store := facts.NewStore([]*lint.Analyzer{a})
 	for _, pkg := range pkgs {
 		dir := filepath.Join(testdata, "src", pkg)
-		units, err := load.Load(load.Config{Dir: dir}, ".")
+		units, failures, err := load.Load(load.Config{Dir: dir}, ".")
 		if err != nil {
 			t.Errorf("%s: loading %s: %v", a.Name, dir, err)
 			continue
 		}
+		for _, f := range failures {
+			t.Errorf("%s: loading %s: %s", a.Name, dir, f)
+		}
 		for _, u := range units {
-			runUnit(t, a, u)
+			runUnit(t, a, u, store)
 		}
 	}
 }
 
-func runUnit(t *testing.T, a *lint.Analyzer, u *load.Unit) {
+func runUnit(t *testing.T, a *lint.Analyzer, u *load.Unit, store *facts.Store) {
 	t.Helper()
 
-	var diags []lint.Diagnostic
+	ignores := lint.NewIgnoreIndex(u.Fset, u.Files)
+	diags := append([]lint.Diagnostic(nil), ignores.Bad...)
 	pass := &lint.Pass{
 		Analyzer:  a,
 		Fset:      u.Fset,
 		Files:     u.Files,
 		Pkg:       u.Pkg,
 		TypesInfo: u.Info,
-		Report:    func(d lint.Diagnostic) { diags = append(diags, d) },
+		Report: func(d lint.Diagnostic) {
+			if !ignores.Ignored(d.Pos, a.Name) {
+				diags = append(diags, d)
+			}
+		},
 	}
+	store.Install(pass)
 	if _, err := a.Run(pass); err != nil {
 		t.Errorf("%s: analyzer failed: %v", a.Name, err)
 		return

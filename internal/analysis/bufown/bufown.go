@@ -1,0 +1,575 @@
+// Package bufown implements the snaplint analyzer that enforces the
+// buffer-ownership contracts of DESIGN.md §10. Three annotations, all
+// propagated across packages as Facts:
+//
+//	//snap:returns-borrowed    the result aliases callee-owned scratch,
+//	                           valid only until the next call
+//	//snap:consumes <param>    the argument is handed off (recycled);
+//	                           the caller must not touch it afterward
+//	//snap:borrows <param>     the callee may read the param during the
+//	                           call but must not retain or return it
+//
+// Caller-side rules. The result of a //snap:returns-borrowed call may
+// be used transiently — read, passed on, copied from — but may not be
+// stored into a struct field or global, and may not be returned unless
+// the caller is itself annotated //snap:returns-borrowed (ownership
+// does not launder through a wrapper). The same applies to any local
+// variable the result was assigned to. An argument passed for a
+// //snap:consumes parameter must not be used after the call returns
+// (until reassigned): this is the RecycleFrame rule — a recycled frame
+// belongs to the pool.
+//
+// Definition-side rules. Inside a function declaring //snap:borrows,
+// the borrowed parameter (and any alias sliced from it) must not be
+// stored into fields or globals, or escape via return — a decoded
+// update must never alias the transport frame it was parsed from. And
+// an exported pointer-receiver method that returns one of the
+// receiver's numeric-slice fields without declaring
+// //snap:returns-borrowed is flagged: that is exactly the shape of the
+// historical Params() bug, where live engine state escaped unlabeled.
+package bufown
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/snapml/snap/internal/analysis/directive"
+	"github.com/snapml/snap/internal/analysis/lint"
+)
+
+// Fact records a function's buffer-ownership contract.
+type Fact struct {
+	ReturnsBorrowed bool     `json:"returnsBorrowed,omitempty"`
+	Consumes        []string `json:"consumes,omitempty"`
+	Borrows         []string `json:"borrows,omitempty"`
+}
+
+func (*Fact) AFact() {}
+
+var Analyzer = &lint.Analyzer{
+	Name:      "bufown",
+	Doc:       "borrowed results are not retained, consumed buffers are not reused, borrowed params do not escape",
+	Run:       run,
+	FactTypes: []lint.Fact{new(Fact)},
+}
+
+func run(pass *lint.Pass) (any, error) {
+	annotated := make(map[types.Object]*Fact)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				fact := factFor(d.Doc)
+				if fact == nil {
+					continue
+				}
+				if obj := pass.TypesInfo.Defs[d.Name]; obj != nil {
+					annotated[obj] = fact
+					if pass.ExportObjectFact != nil {
+						pass.ExportObjectFact(obj, fact)
+					}
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					it, ok := ts.Type.(*ast.InterfaceType)
+					if !ok || it.Methods == nil {
+						continue
+					}
+					for _, m := range it.Methods.List {
+						fact := factFor(m.Doc)
+						if fact == nil || len(m.Names) == 0 {
+							continue
+						}
+						if obj := pass.TypesInfo.Defs[m.Names[0]]; obj != nil {
+							annotated[obj] = fact
+							if pass.ExportObjectFact != nil {
+								pass.ExportObjectFact(obj, fact)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			self := annotated[pass.TypesInfo.Defs[fn.Name]]
+			checkBorrowsParams(pass, fn, self)
+			checkUnlabeledBorrowedReturn(pass, fn, self)
+			checkCallers(pass, fn, self, annotated)
+		}
+	}
+	return nil, nil
+}
+
+func factFor(doc *ast.CommentGroup) *Fact {
+	var f Fact
+	for _, d := range directive.ForDoc(doc) {
+		switch d.Name {
+		case "returns-borrowed":
+			f.ReturnsBorrowed = true
+		case "consumes":
+			f.Consumes = append(f.Consumes, d.Args...)
+		case "borrows":
+			f.Borrows = append(f.Borrows, d.Args...)
+		}
+	}
+	if !f.ReturnsBorrowed && len(f.Consumes) == 0 && len(f.Borrows) == 0 {
+		return nil
+	}
+	return &f
+}
+
+// checkBorrowsParams verifies the definition side of //snap:borrows:
+// the named parameters and their slice aliases stay within the call.
+func checkBorrowsParams(pass *lint.Pass, fn *ast.FuncDecl, self *Fact) {
+	if self == nil || len(self.Borrows) == 0 {
+		return
+	}
+	tainted := make(map[types.Object]string) // alias object → borrowed param name
+	for _, field := range fn.Type.Params.List {
+		for _, id := range field.Names {
+			for _, want := range self.Borrows {
+				if id.Name == want {
+					if obj := pass.TypesInfo.Defs[id]; obj != nil {
+						tainted[obj] = want
+					}
+				}
+			}
+		}
+	}
+	if len(tainted) == 0 {
+		return
+	}
+	name := funcDisplayName(fn)
+	walkSkippingFuncLits(fn.Body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				src, srcOK := aliasRoot(pass.TypesInfo, rhs, tainted)
+				if !srcOK {
+					continue
+				}
+				if i >= len(n.Lhs) {
+					break
+				}
+				lhs := n.Lhs[i]
+				if dest := retainedDest(pass.TypesInfo, lhs); dest != "" {
+					pass.Reportf(n.Pos(), "borrowed parameter %s retained in %s by %s", src, dest, name)
+				} else if obj := localObj(pass.TypesInfo, lhs); obj != nil {
+					tainted[obj] = src // alias spreads through locals
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if src, ok := aliasRoot(pass.TypesInfo, r, tainted); ok {
+					pass.Reportf(r.Pos(), "borrowed parameter %s escapes via return from %s", src, name)
+				}
+			}
+		}
+	})
+}
+
+// checkUnlabeledBorrowedReturn flags the Params() bug shape: an
+// exported pointer-receiver method returning one of the receiver's
+// numeric-slice fields without //snap:returns-borrowed.
+func checkUnlabeledBorrowedReturn(pass *lint.Pass, fn *ast.FuncDecl, self *Fact) {
+	if self != nil && self.ReturnsBorrowed {
+		return
+	}
+	if fn.Recv == nil || len(fn.Recv.List) != 1 || !ast.IsExported(fn.Name.Name) {
+		return
+	}
+	var recvObj types.Object
+	if names := fn.Recv.List[0].Names; len(names) == 1 {
+		recvObj = pass.TypesInfo.Defs[names[0]]
+	}
+	if recvObj == nil {
+		return
+	}
+	name := funcDisplayName(fn)
+	walkSkippingFuncLits(fn.Body, func(n ast.Node) {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return
+		}
+		for _, r := range ret.Results {
+			e := unparen(r)
+			for {
+				se, ok := e.(*ast.SliceExpr)
+				if !ok {
+					break
+				}
+				e = unparen(se.X)
+			}
+			sel, ok := e.(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			base, ok := unparen(sel.X).(*ast.Ident)
+			if !ok || pass.TypesInfo.Uses[base] != recvObj {
+				continue
+			}
+			if s, ok := pass.TypesInfo.Selections[sel]; !ok || s.Kind() != types.FieldVal {
+				continue
+			}
+			if !numericSlice(pass.TypesInfo.TypeOf(sel)) {
+				continue
+			}
+			pass.Reportf(r.Pos(), "%s returns the receiver's %s buffer without //snap:returns-borrowed (copy it or annotate the contract)", name, sel.Sel.Name)
+		}
+	})
+}
+
+// checkCallers enforces the caller-side rules inside fn's body:
+// borrowed results are not retained or re-returned, consumed arguments
+// are not used after hand-off.
+func checkCallers(pass *lint.Pass, fn *ast.FuncDecl, self *Fact, annotated map[types.Object]*Fact) {
+	info := pass.TypesInfo
+	name := funcDisplayName(fn)
+	selfBorrowed := self != nil && self.ReturnsBorrowed
+
+	factOf := func(call *ast.CallExpr) *Fact {
+		callee := calleeFunc(info, call)
+		if callee == nil {
+			return nil
+		}
+		if f := annotated[callee]; f != nil {
+			return f
+		}
+		var f Fact
+		if pass.ImportObjectFact != nil && pass.ImportObjectFact(callee, &f) {
+			return &f
+		}
+		return nil
+	}
+
+	borrowed := make(map[types.Object]bool) // locals holding borrowed results
+	consumed := make(map[types.Object]token.Pos)
+	var assigns []struct {
+		obj types.Object
+		pos token.Pos
+	}
+
+	// Pass A: find borrowed-call results and where they land, record
+	// consume events and every reassignment.
+	walkSkippingFuncLits(fn.Body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				var lhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					lhs = n.Lhs[i]
+				} else if len(n.Rhs) == 1 {
+					lhs = n.Lhs[0] // tuple assign: taint the first var
+				}
+				if lhs == nil {
+					continue
+				}
+				if obj := localObj(info, lhs); obj != nil {
+					assigns = append(assigns, struct {
+						obj types.Object
+						pos token.Pos
+					}{obj, n.Pos()})
+				}
+				call, ok := unparen(rhs).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				f := factOf(call)
+				if f == nil || !f.ReturnsBorrowed {
+					continue
+				}
+				if dest := retainedDest(info, lhs); dest != "" {
+					pass.Reportf(n.Pos(), "borrowed result of %s stored in %s by %s", callName(call), dest, name)
+				} else if obj := localObj(info, lhs); obj != nil {
+					borrowed[obj] = true
+				}
+			}
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{n.Key, n.Value} {
+				if e == nil {
+					continue
+				}
+				if obj := localObj(info, e); obj != nil {
+					assigns = append(assigns, struct {
+						obj types.Object
+						pos token.Pos
+					}{obj, n.Pos()})
+				}
+			}
+		case *ast.ReturnStmt:
+			if selfBorrowed {
+				return
+			}
+			for _, r := range n.Results {
+				if call, ok := unparen(r).(*ast.CallExpr); ok {
+					if f := factOf(call); f != nil && f.ReturnsBorrowed {
+						pass.Reportf(r.Pos(), "%s returns the borrowed result of %s without declaring //snap:returns-borrowed", name, callName(call))
+					}
+				}
+			}
+		case *ast.CallExpr:
+			f := factOf(n)
+			if f == nil || len(f.Consumes) == 0 {
+				return
+			}
+			callee := calleeFunc(info, n)
+			sig, ok := callee.Type().(*types.Signature)
+			if !ok {
+				return
+			}
+			for _, pname := range f.Consumes {
+				idx := paramIndex(sig, pname)
+				if idx < 0 || idx >= len(n.Args) {
+					continue
+				}
+				if obj := localObj(info, n.Args[idx]); obj != nil {
+					if prev, ok := consumed[obj]; !ok || n.End() < prev {
+						consumed[obj] = n.End()
+					}
+				}
+			}
+		}
+	})
+
+	// Pass B: flag retention of borrowed locals and use-after-consume.
+	reportedConsume := make(map[types.Object]bool)
+	walkSkippingFuncLits(fn.Body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				obj := localObj(info, unparen(rhs))
+				if obj == nil || !borrowed[obj] || i >= len(n.Lhs) {
+					continue
+				}
+				if dest := retainedDest(info, n.Lhs[i]); dest != "" {
+					pass.Reportf(n.Pos(), "borrowed buffer %s stored in %s by %s", obj.Name(), dest, name)
+				}
+			}
+		case *ast.ReturnStmt:
+			if selfBorrowed {
+				return
+			}
+			for _, r := range n.Results {
+				obj := localObj(info, unparen(r))
+				if obj != nil && borrowed[obj] {
+					pass.Reportf(r.Pos(), "%s returns borrowed buffer %s without declaring //snap:returns-borrowed", name, obj.Name())
+				}
+			}
+		case *ast.Ident:
+			obj := info.Uses[n]
+			if obj == nil || reportedConsume[obj] {
+				return
+			}
+			cpos, ok := consumed[obj]
+			if !ok || n.Pos() <= cpos {
+				return
+			}
+			// A reassignment between the consume and this use gives the
+			// variable a fresh buffer.
+			for _, a := range assigns {
+				if a.obj == obj && a.pos > cpos && a.pos <= n.Pos() {
+					return
+				}
+			}
+			reportedConsume[obj] = true
+			pass.Reportf(n.Pos(), "use of %s after it was consumed (recycled buffers belong to the pool) in %s", obj.Name(), name)
+		}
+	})
+}
+
+// aliasRoot reports whether e aliases a tainted object — the object
+// itself, a subslice of it, or the address of one of its elements —
+// and returns the originating parameter name.
+func aliasRoot(info *types.Info, e ast.Expr, tainted map[types.Object]string) (string, bool) {
+	e = unparen(e)
+	for {
+		switch x := e.(type) {
+		case *ast.SliceExpr:
+			e = unparen(x.X)
+			continue
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				e = unparen(x.X)
+				continue
+			}
+		case *ast.IndexExpr:
+			// &frame[i] reached via the UnaryExpr case; a bare frame[i]
+			// is a value copy, not an alias — except through a slice of
+			// slices, which we treat conservatively as an alias.
+			e = unparen(x.X)
+			continue
+		}
+		break
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return "", false
+	}
+	src, ok := tainted[obj]
+	return src, ok
+}
+
+// retainedDest classifies an assignment destination that outlives the
+// call frame: a struct field, a global, or an element of either.
+// It returns "" for plain locals and blanks.
+func retainedDest(info *types.Info, e ast.Expr) string {
+	e = unparen(e)
+	switch x := e.(type) {
+	case *ast.Ident:
+		if x.Name == "_" {
+			return ""
+		}
+		obj := info.Uses[x]
+		if obj == nil {
+			obj = info.Defs[x]
+		}
+		if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return "global " + v.Name()
+		}
+		return ""
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[x]; ok && s.Kind() == types.FieldVal {
+			return "field " + x.Sel.Name
+		}
+		// pkg.Global
+		if v, ok := info.Uses[x.Sel].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return "global " + v.Name()
+		}
+		return ""
+	case *ast.IndexExpr:
+		return retainedDest(info, x.X)
+	case *ast.StarExpr:
+		return retainedDest(info, x.X)
+	}
+	return ""
+}
+
+// localObj returns the *types.Var for a plain local-variable
+// expression, or nil for anything else (fields, globals, complex
+// expressions).
+func localObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() || v.Pkg() == nil || v.Parent() == v.Pkg().Scope() {
+		return nil
+	}
+	return v
+}
+
+func paramIndex(sig *types.Signature, name string) int {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i).Name() == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			f, _ := sel.Obj().(*types.Func)
+			return f
+		}
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+func callName(call *ast.CallExpr) string {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return "call"
+}
+
+func funcDisplayName(fn *ast.FuncDecl) string {
+	if fn.Recv != nil && len(fn.Recv.List) == 1 {
+		if rn := receiverTypeName(fn.Recv.List[0].Type); rn != "" {
+			return rn + "." + fn.Name.Name
+		}
+	}
+	return fn.Name.Name
+}
+
+func receiverTypeName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.StarExpr:
+		return receiverTypeName(e.X)
+	case *ast.Ident:
+		return e.Name
+	case *ast.IndexExpr:
+		return receiverTypeName(e.X)
+	case *ast.IndexListExpr:
+		return receiverTypeName(e.X)
+	}
+	return ""
+}
+
+func numericSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}
+
+// walkSkippingFuncLits visits every node of body in source order but
+// does not descend into function literals: their statements belong to
+// a different frame with its own ownership story.
+func walkSkippingFuncLits(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,19 @@
+package bufown_test
+
+import (
+	"testing"
+
+	"github.com/snapml/snap/internal/analysis/analysistest"
+	"github.com/snapml/snap/internal/analysis/bufown"
+)
+
+func TestBufOwn(t *testing.T) {
+	analysistest.Run(t, "testdata", bufown.Analyzer, "a")
+}
+
+// TestCrossPackageFacts lists the dependency (d) before the dependent
+// (e), so d's ownership contracts are visible as facts at e's call
+// sites.
+func TestCrossPackageFacts(t *testing.T) {
+	analysistest.Run(t, "testdata", bufown.Analyzer, "d", "e")
+}

@@ -1,0 +1,122 @@
+// Package a exercises the bufown analyzer's single-package rules:
+// retention of //snap:returns-borrowed results, use-after-consume,
+// //snap:borrows escape checks, and the unlabeled-borrowed-return
+// definition rule.
+package a
+
+type Engine struct {
+	x   []float64
+	upd []float64
+}
+
+// Step advances one iteration and exposes the live parameter vector.
+//
+//snap:returns-borrowed
+func (e *Engine) Step() []float64 {
+	return e.x // ok: the contract is declared
+}
+
+// Params is the historical bug shape: live engine state escaping
+// without a contract.
+func (e *Engine) Params() []float64 {
+	return e.x // want `Engine.Params returns the receiver's x buffer without //snap:returns-borrowed`
+}
+
+// Snapshot copies, which is the blessed alternative.
+func (e *Engine) Snapshot() []float64 {
+	out := make([]float64, len(e.x))
+	copy(out, e.x)
+	return out
+}
+
+// Tail leaks a subslice of receiver state; slicing does not launder
+// ownership.
+func (e *Engine) Tail(n int) []float64 {
+	return e.upd[:n] // want `Engine.Tail returns the receiver's upd buffer without //snap:returns-borrowed`
+}
+
+type holder struct{ buf []float64 }
+
+var global []float64
+
+func retainBorrowed(e *Engine, h *holder) float64 {
+	x := e.Step()    // borrowed: transient use below is fine
+	h.buf = e.Step() // want `borrowed result of Step stored in field buf`
+	global = x       // want `borrowed buffer x stored in global global`
+	sum := 0.0
+	for _, v := range x {
+		sum += v
+	}
+	return sum
+}
+
+func returnBorrowedDirect(e *Engine) []float64 {
+	return e.Step() // want `returnBorrowedDirect returns the borrowed result of Step without declaring //snap:returns-borrowed`
+}
+
+func returnBorrowedLocal(e *Engine) []float64 {
+	x := e.Step()
+	return x // want `returnBorrowedLocal returns borrowed buffer x without declaring //snap:returns-borrowed`
+}
+
+// wrapper re-declares the contract, so forwarding is legal.
+//
+//snap:returns-borrowed
+func wrapper(e *Engine) []float64 {
+	return e.Step() // ok
+}
+
+func copyOut(e *Engine, dst []float64) {
+	x := e.Step()
+	copy(dst, x) // ok: copying out of a borrowed buffer is the point
+}
+
+// Recycle returns a frame to the pool.
+//
+//snap:consumes b
+func Recycle(b []byte) {}
+
+func useAfterConsume(b []byte) int {
+	Recycle(b)
+	return len(b) // want `use of b after it was consumed`
+}
+
+func consumeThenReassign(b []byte) int {
+	Recycle(b)
+	b = make([]byte, 4) // a fresh buffer: the old hand-off no longer applies
+	return len(b)       // ok
+}
+
+func consumeLast(b []byte) int {
+	n := len(b)
+	Recycle(b) // ok: nothing touches b afterward
+	return n
+}
+
+var retained []byte
+
+// DecodeInto may read frame during the call but must not keep it.
+//
+//snap:borrows frame
+func DecodeInto(dst []float64, frame []byte) {
+	alias := frame[4:]
+	retained = alias // want `borrowed parameter frame retained in global retained`
+	_ = alias
+}
+
+//snap:borrows raw
+func BadReturn(raw []byte) []byte {
+	return raw[:2] // want `borrowed parameter raw escapes via return`
+}
+
+type sink struct{ keep []byte }
+
+//snap:borrows src
+func (s *sink) BadField(src []byte) {
+	s.keep = src // want `borrowed parameter src retained in field keep`
+}
+
+//snap:borrows src
+func GoodCopy(dst, src []byte) int {
+	return copy(dst, src) // ok: reading is what borrowing is for
+}

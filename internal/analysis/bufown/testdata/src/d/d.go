@@ -1,0 +1,17 @@
+// Package d is the dependency side of bufown's cross-package fact
+// test: a pool whose contracts travel to importers as facts.
+package d
+
+type Pool struct{ buf []byte }
+
+// Get hands out the pool's scratch buffer.
+//
+//snap:returns-borrowed
+func (p *Pool) Get() []byte {
+	return p.buf
+}
+
+// Put recycles a buffer; the caller must stop using it.
+//
+//snap:consumes b
+func Put(b []byte) {}

@@ -1,0 +1,26 @@
+// Package e imports package d and checks that d's ownership contracts
+// arrived as facts: retaining a borrowed pool buffer and touching a
+// recycled one are findings even though the contracts are declared in
+// another compilation unit.
+package e
+
+import "github.com/snapml/snap/internal/analysis/bufown/testdata/src/d"
+
+type server struct{ frame []byte }
+
+func (s *server) bad(p *d.Pool) {
+	s.frame = p.Get() // want `borrowed result of Get stored in field frame`
+}
+
+func useAfterPut(p *d.Pool) int {
+	b := p.Get()
+	d.Put(b)
+	return len(b) // want `use of b after it was consumed`
+}
+
+func roundTrip(p *d.Pool, dst []byte) int {
+	b := p.Get()
+	n := copy(dst, b)
+	d.Put(b) // ok: consumed last
+	return n
+}

@@ -1,0 +1,355 @@
+// Package golife implements the snaplint analyzer that enforces
+// goroutine-lifecycle hygiene in the long-running planes — transport,
+// control plane, serving, observability, and the engine core. Elastic
+// epochs (DESIGN.md §9) require that every background goroutine can be
+// told to stop: a worker that outlives its round corrupts the next
+// one's scratch, and a leaked accept loop holds ports across restarts.
+//
+// Every `go` statement in a scoped package must be cancellable, which
+// the analyzer accepts as any of:
+//
+//   - the goroutine body registers with a WaitGroup (`defer wg.Done()`)
+//     that a Close/Stop path can wait on;
+//   - it selects on (or receives from) a context's Done channel or a
+//     channel whose name signals shutdown (done, stop, quit, close*,
+//     shut*, exit, cancel*);
+//   - it ranges over a channel, so closing the channel ends it.
+//
+// When the goroutine target is a function in the same package, its
+// body is checked (one level of same-package wrapper calls is
+// followed). A target declared in another package cannot be verified
+// and is flagged — either wrap it with a done-select or waive the
+// finding with a reason.
+//
+// Additionally, a `go` statement inside an unbounded loop (`for {}` or
+// `for cond {}`) is flagged unless an admission-control operation — a
+// semaphore send/receive — precedes the spawn in the loop body:
+// one-goroutine-per-message with no backpressure is how transports
+// melt down under fan-in.
+//
+// Packages are scoped by import-path suffix so the rules apply to the
+// real planes and to their testdata mirrors alike.
+package golife
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/snapml/snap/internal/analysis/lint"
+)
+
+var Analyzer = &lint.Analyzer{
+	Name: "golife",
+	Doc:  "goroutines in the serving planes must be cancellable and not spawned in unbounded loops",
+	Run:  run,
+}
+
+// scopeSuffixes are the package-path suffixes the analyzer applies to.
+var scopeSuffixes = []string{
+	"internal/transport",
+	"internal/controlplane",
+	"internal/serve",
+	"internal/obs",
+	"internal/core",
+}
+
+func inScope(path string) bool {
+	// Test variants ("pkg [pkg.test]") carry the same on-disk package.
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	for _, s := range scopeSuffixes {
+		if strings.HasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *lint.Pass) (any, error) {
+	if !inScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+
+	// Index this package's function bodies so `go s.readLoop()` can be
+	// verified by looking at readLoop itself.
+	decls := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue // test goroutines die with the test binary
+		}
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if g, ok := n.(*ast.GoStmt); ok {
+				checkGo(pass, g, stack, decls)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func isTestFile(pass *lint.Pass, f *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+func checkGo(pass *lint.Pass, g *ast.GoStmt, stack []ast.Node, decls map[types.Object]*ast.FuncDecl) {
+	checkCancellable(pass, g, decls)
+	checkLoop(pass, g, stack)
+}
+
+func checkCancellable(pass *lint.Pass, g *ast.GoStmt, decls map[types.Object]*ast.FuncDecl) {
+	const depth = 2 // follow same-package wrappers this many levels
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		if !cancellable(pass, lit.Body, decls, depth) {
+			pass.Reportf(g.Pos(), "goroutine is not cancellable: no done/ctx select, WaitGroup registration, or channel range")
+		}
+		return
+	}
+	callee := calleeFunc(pass.TypesInfo, g.Call)
+	if callee == nil {
+		pass.Reportf(g.Pos(), "goroutine target is a function value; cannot verify it is cancellable")
+		return
+	}
+	fd, local := decls[callee]
+	if !local {
+		pass.Reportf(g.Pos(), "goroutine target %s is declared outside this package; cannot verify it is cancellable", callee.Name())
+		return
+	}
+	if !cancellable(pass, fd.Body, decls, depth) {
+		pass.Reportf(g.Pos(), "goroutine %s is not cancellable: no done/ctx select, WaitGroup registration, or channel range", callee.Name())
+	}
+}
+
+// cancellable reports whether a goroutine body contains a recognized
+// shutdown mechanism, following same-package calls up to depth levels.
+func cancellable(pass *lint.Pass, body *ast.BlockStmt, decls map[types.Object]*ast.FuncDecl, depth int) bool {
+	if body == nil {
+		return false
+	}
+	info := pass.TypesInfo
+	ok := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if isWaitGroupDone(info, n.Call) {
+				ok = true
+			}
+		case *ast.SelectStmt:
+			for _, c := range n.Body.List {
+				cc, isComm := c.(*ast.CommClause)
+				if isComm && commOnShutdown(info, cc.Comm) {
+					ok = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && isShutdownChan(info, n.X) {
+				ok = true
+			}
+		case *ast.RangeStmt:
+			if _, isChan := typeOf(info, n.X).(*types.Chan); isChan {
+				ok = true // closing the channel ends the loop
+			}
+		}
+		return !ok
+	})
+	if ok || depth == 0 {
+		return ok
+	}
+	// Wrapper pattern: go func() { s.loop(ctx) }() — follow
+	// same-package callees one level.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		callee := calleeFunc(info, call)
+		if callee == nil {
+			return true
+		}
+		if fd, local := decls[callee]; local && cancellable(pass, fd.Body, decls, depth-1) {
+			ok = true
+		}
+		return !ok
+	})
+	return ok
+}
+
+func isWaitGroupDone(info *types.Info, call *ast.CallExpr) bool {
+	f := calleeFunc(info, call)
+	return f != nil && f.Name() == "Done" && f.Pkg() != nil && f.Pkg().Path() == "sync"
+}
+
+// commOnShutdown reports whether a select case communicates on a
+// shutdown channel (receive from ctx.Done() or a done/stop/quit-named
+// channel).
+func commOnShutdown(info *types.Info, comm ast.Stmt) bool {
+	var expr ast.Expr
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		expr = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			expr = s.Rhs[0]
+		}
+	}
+	if expr == nil {
+		return false
+	}
+	u, ok := unparen(expr).(*ast.UnaryExpr)
+	if !ok || u.Op != token.ARROW {
+		return false
+	}
+	return isShutdownChan(info, u.X)
+}
+
+// isShutdownChan recognizes ctx.Done()-shaped calls and channels whose
+// names signal shutdown intent.
+func isShutdownChan(info *types.Info, e ast.Expr) bool {
+	e = unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		f := calleeFunc(info, call)
+		return f != nil && f.Name() == "Done"
+	}
+	var name string
+	switch x := e.(type) {
+	case *ast.Ident:
+		name = x.Name
+	case *ast.SelectorExpr:
+		name = x.Sel.Name
+	default:
+		return false
+	}
+	name = strings.ToLower(name)
+	for _, hint := range []string{"done", "stop", "quit", "clos", "shut", "exit", "cancel"} {
+		if strings.Contains(name, hint) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkLoop flags a go statement whose nearest enclosing loop (within
+// the same function) is unbounded, unless a semaphore operation
+// precedes the spawn in that loop's body.
+func checkLoop(pass *lint.Pass, g *ast.GoStmt, stack []ast.Node) {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.FuncLit, *ast.FuncDecl:
+			return // spawn frequency now depends on the caller, not a loop here
+		case *ast.ForStmt:
+			if n.Init != nil || n.Post != nil {
+				return // counted loop: bounded by construction
+			}
+			if hasAdmissionBefore(n.Body, g.Pos()) {
+				return
+			}
+			pass.Reportf(g.Pos(), "goroutine spawned inside an unbounded loop without admission control (bound it with a worker pool or semaphore)")
+			return
+		}
+	}
+}
+
+// hasAdmissionBefore reports whether the loop body acquires a
+// semaphore before pos: a blocking channel send (backpressure against
+// a bounded channel), or a receive from a channel whose name marks it
+// as a slot pool. Receives inside select statements don't count — a
+// stop-select is shutdown, not admission — and neither does draining a
+// work channel, which is exactly the one-goroutine-per-message shape
+// the rule exists to catch.
+func hasAdmissionBefore(body *ast.BlockStmt, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found || n == nil || n.Pos() >= pos {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SelectStmt:
+			return false
+		case *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && isSemaphoreChan(x.X) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isSemaphoreChan(e ast.Expr) bool {
+	var name string
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		name = x.Name
+	case *ast.SelectorExpr:
+		name = x.Sel.Name
+	default:
+		return false
+	}
+	name = strings.ToLower(name)
+	for _, hint := range []string{"sem", "slot", "token", "limit", "pool"} {
+		if strings.Contains(name, hint) {
+			return true
+		}
+	}
+	return false
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	t := info.TypeOf(e)
+	if t == nil {
+		return types.Typ[types.Invalid]
+	}
+	return t.Underlying()
+}
+
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			f, _ := sel.Obj().(*types.Func)
+			return f
+		}
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

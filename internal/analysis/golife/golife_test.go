@@ -1,0 +1,12 @@
+package golife_test
+
+import (
+	"testing"
+
+	"github.com/snapml/snap/internal/analysis/analysistest"
+	"github.com/snapml/snap/internal/analysis/golife"
+)
+
+func TestGolife(t *testing.T) {
+	analysistest.Run(t, "testdata", golife.Analyzer, "a", "internal/transport")
+}

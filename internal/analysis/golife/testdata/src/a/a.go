@@ -1,0 +1,10 @@
+// Package a is outside golife's scoped planes, so even a blatant leak
+// produces no findings here.
+package a
+
+func leak() {
+	go func() { // ok: package not in scope
+		for {
+		}
+	}()
+}

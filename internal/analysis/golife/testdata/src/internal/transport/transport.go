@@ -1,0 +1,124 @@
+// Package transport mirrors the real transport plane's import-path
+// suffix so the golife analyzer is in scope, and exercises its
+// cancellability and unbounded-loop rules.
+package transport
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"sync"
+)
+
+type Peer struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+	work chan int
+}
+
+func (p *Peer) Start(ctx context.Context) {
+	p.wg.Add(2)
+	go p.readLoop()     // ok: WaitGroup registration + done select
+	go p.heartbeat(ctx) // ok: ctx.Done select
+	go p.leak()         // want `goroutine leak is not cancellable`
+}
+
+func (p *Peer) readLoop() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.done:
+			return
+		case w := <-p.work:
+			_ = w
+		}
+	}
+}
+
+func (p *Peer) heartbeat(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+func (p *Peer) leak() {
+	for {
+		p.handle(0)
+	}
+}
+
+func (p *Peer) handle(int) {}
+
+func (p *Peer) drain() {
+	for w := range p.work { // ok: closing p.work ends the goroutine
+		_ = w
+	}
+}
+
+func (p *Peer) startDrain() {
+	go p.drain() // ok: range over a channel
+}
+
+func (p *Peer) startWrapped(ctx context.Context) {
+	go func() { // ok: same-package wrapper is followed one level
+		p.heartbeat(ctx)
+	}()
+}
+
+func (p *Peer) inlineBody() {
+	go func() { // ok: receives from a shutdown-named channel
+		<-p.done
+	}()
+}
+
+// floodAccept spawns per iteration of an unbounded loop with no
+// admission control.
+func (p *Peer) floodAccept() {
+	for {
+		go p.readLoop() // want `goroutine spawned inside an unbounded loop`
+	}
+}
+
+// pooled bounds concurrency with a semaphore before each spawn.
+func (p *Peer) pooled(sem chan struct{}) {
+	for {
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem }()
+			<-p.done
+		}()
+	}
+}
+
+// counted loops are bounded by construction.
+func (p *Peer) countedSpawn(n int) {
+	for i := 0; i < n; i++ {
+		go p.readLoop() // ok
+	}
+}
+
+// drainThenSpawn is the one-goroutine-per-message shape: draining the
+// work channel is not admission control.
+func (p *Peer) drainThenSpawn() {
+	for {
+		w := <-p.work
+		_ = w
+		go p.readLoop() // want `goroutine spawned inside an unbounded loop`
+	}
+}
+
+func Serve(srv *http.Server, ln net.Listener) {
+	go srv.Serve(ln) // want `goroutine target Serve is declared outside this package`
+}
+
+func ServeWaived(srv *http.Server, ln net.Listener) {
+	//snaplint:ignore golife caller owns srv and shuts it down via Close
+	go srv.Serve(ln)
+}
+
+func spawnValue(f func()) {
+	go f() // want `goroutine target is a function value`
+}

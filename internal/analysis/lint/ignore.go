@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// An ignore waiver suppresses snaplint diagnostics at a single site:
+//
+//	//snaplint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// The directive applies to diagnostics reported on its own line and on
+// the line directly below it (so it works both as a trailing comment
+// and as a standalone comment above the waived statement). The reason
+// is mandatory: a waiver without a recorded justification is itself
+// reported as a finding, as is one that names no analyzer.
+
+// ignorePrefix is the exact directive prefix (no space after //, per
+// the Go convention for machine-readable comments).
+const ignorePrefix = "//snaplint:ignore"
+
+// ParseIgnore parses one comment's text as an ignore directive. ok
+// reports whether the comment is an ignore directive at all; err is
+// non-nil when it is one but is malformed (no analyzers or no reason).
+// It never panics on arbitrary input (fuzzed).
+func ParseIgnore(text string) (analyzers []string, reason string, ok bool, err error) {
+	rest, found := strings.CutPrefix(text, ignorePrefix)
+	if !found {
+		return nil, "", false, nil
+	}
+	// "//snaplint:ignoreX" is not the directive; require the prefix to
+	// end the comment or be followed by whitespace.
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil, "", false, nil
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, "", true, fmt.Errorf("snaplint:ignore names no analyzer")
+	}
+	for _, name := range strings.Split(fields[0], ",") {
+		if name == "" {
+			return nil, "", true, fmt.Errorf("snaplint:ignore has an empty analyzer name")
+		}
+		analyzers = append(analyzers, name)
+	}
+	if len(fields) < 2 {
+		return analyzers, "", true, fmt.Errorf("snaplint:ignore %s: missing reason", fields[0])
+	}
+	return analyzers, strings.Join(fields[1:], " "), true, nil
+}
+
+// An IgnoreIndex answers "is this diagnostic waived?" for one
+// compilation unit. Drivers build it from the unit's files and filter
+// Report calls through Ignored; malformed directives surface via Bad.
+type IgnoreIndex struct {
+	// byLine maps file:line to the analyzer names waived on that line.
+	byLine map[string]map[string]bool
+	fset   *token.FileSet
+
+	// Bad holds one diagnostic per malformed directive (missing
+	// analyzer or reason). Drivers report them unconditionally.
+	Bad []Diagnostic
+}
+
+// NewIgnoreIndex scans the files' comments for ignore directives.
+func NewIgnoreIndex(fset *token.FileSet, files []*ast.File) *IgnoreIndex {
+	ix := &IgnoreIndex{byLine: make(map[string]map[string]bool), fset: fset}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				analyzers, _, ok, err := ParseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				if err != nil {
+					ix.Bad = append(ix.Bad, Diagnostic{Pos: c.Pos(), Message: err.Error()})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, name := range analyzers {
+					ix.add(pos.Filename, pos.Line, name)
+					ix.add(pos.Filename, pos.Line+1, name)
+				}
+			}
+		}
+	}
+	return ix
+}
+
+func (ix *IgnoreIndex) add(file string, line int, analyzer string) {
+	k := fmt.Sprintf("%s:%d", file, line)
+	m := ix.byLine[k]
+	if m == nil {
+		m = make(map[string]bool)
+		ix.byLine[k] = m
+	}
+	m[analyzer] = true
+}
+
+// Ignored reports whether a diagnostic from the named analyzer at pos
+// is waived.
+func (ix *IgnoreIndex) Ignored(pos token.Pos, analyzer string) bool {
+	if ix == nil || len(ix.byLine) == 0 {
+		return false
+	}
+	p := ix.fset.Position(pos)
+	return ix.byLine[fmt.Sprintf("%s:%d", p.Filename, p.Line)][analyzer]
+}

@@ -8,8 +8,14 @@
 // matter of changing import paths.
 //
 // Compared to go/analysis this framework omits Requires/ResultOf
-// (analyzer dependencies) and Facts (cross-package analysis): every
-// snaplint analyzer is self-contained within one compilation unit.
+// (analyzer dependencies), but it does support Facts: an analyzer can
+// attach serializable observations to package-level objects (or whole
+// packages) of the unit it is analyzing, and later, when a dependent
+// package is analyzed, query the facts of imported objects. Facts flow
+// between compilation units through the driver — in-process for the
+// `load`-based standalone driver, through the vet `.vetx` files for the
+// unitchecker driver — which is what lets annotations like
+// `//snap:alloc-free` propagate across package boundaries.
 package lint
 
 import (
@@ -17,7 +23,18 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"reflect"
 )
+
+// A Fact is a cross-package observation about a package-level object or
+// a package, exported by an analyzer while analyzing the declaring
+// compilation unit and importable by the same analyzer from any
+// dependent unit. Fact types must be pointers to JSON-serializable
+// structs, be declared in Analyzer.FactTypes, and implement the AFact
+// marker method.
+type Fact interface {
+	AFact() // dummy marker method
+}
 
 // An Analyzer describes one static check.
 type Analyzer struct {
@@ -33,6 +50,11 @@ type Analyzer struct {
 	// error aborts the whole run, so analyzers report findings via
 	// pass.Report instead.
 	Run func(*Pass) (any, error)
+
+	// FactTypes lists prototypes (e.g. new(isAllocFree)) of every fact
+	// type the analyzer exports or imports. A fact of an undeclared
+	// type is a driver error.
+	FactTypes []Fact
 }
 
 func (a *Analyzer) String() string { return a.Name }
@@ -48,6 +70,24 @@ type Pass struct {
 
 	// Report delivers one finding. Drivers install it.
 	Report func(Diagnostic)
+
+	// ExportObjectFact associates fact with obj, which must be a
+	// package-level object (or method) declared by this pass's package.
+	// Drivers install it; it is nil-safe to leave uninstalled in tests
+	// that exercise a factless analyzer.
+	ExportObjectFact func(obj types.Object, fact Fact)
+
+	// ImportObjectFact copies into fact the fact of matching type
+	// previously exported for obj (by this pass or by the pass over
+	// obj's declaring package) and reports whether one existed.
+	ImportObjectFact func(obj types.Object, fact Fact) bool
+
+	// ExportPackageFact associates fact with the current package.
+	ExportPackageFact func(fact Fact)
+
+	// ImportPackageFact copies into fact the fact of matching type
+	// exported for pkg and reports whether one existed.
+	ImportPackageFact func(pkg *types.Package, fact Fact) bool
 }
 
 // Reportf reports a formatted diagnostic at pos.
@@ -67,6 +107,7 @@ type Diagnostic struct {
 // producing anonymous diagnostics.
 func Validate(analyzers []*Analyzer) error {
 	seen := make(map[string]bool)
+	factTypes := make(map[reflect.Type]string)
 	for _, a := range analyzers {
 		if a == nil {
 			return fmt.Errorf("nil *Analyzer")
@@ -78,6 +119,19 @@ func Validate(analyzers []*Analyzer) error {
 			return fmt.Errorf("duplicate analyzer name %q", a.Name)
 		}
 		seen[a.Name] = true
+		for _, f := range a.FactTypes {
+			if f == nil {
+				return fmt.Errorf("analyzer %q: nil fact type", a.Name)
+			}
+			t := reflect.TypeOf(f)
+			if t.Kind() != reflect.Pointer {
+				return fmt.Errorf("analyzer %q: fact type %T is not a pointer", a.Name, f)
+			}
+			if prev, dup := factTypes[t]; dup {
+				return fmt.Errorf("analyzers %q and %q share fact type %T", prev, a.Name, f)
+			}
+			factTypes[t] = a.Name
+		}
 	}
 	return nil
 }

@@ -53,23 +53,52 @@ type Unit struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	// FactsOnly marks a unit analyzed solely so downstream packages see
+	// its facts: a dependency pulled in by Config.Deps, or a plain
+	// package whose diagnostics the test variant already covers. Drivers
+	// must discard its diagnostics.
+	FactsOnly bool
 }
 
 // Config controls a Load call.
 type Config struct {
 	Dir   string // working directory for `go list` ("" = process cwd)
 	Tests bool   // include _test.go files by analyzing test variants
+	// Deps also typechecks the non-stdlib dependencies of the matched
+	// packages (Meta.DepOnly marks them), so analyzers can compute
+	// cross-package facts even when the pattern names only the
+	// dependents. Drivers run dep-only units facts-only, discarding
+	// their diagnostics — vet's VetxOnly, in-process.
+	Deps bool
 }
 
+// A Failure is one package that could not be analyzed — a go list
+// error, a parse error, or a typecheck error. Failures are reported
+// alongside the units that did load so one broken package does not
+// silently hide findings (or the breakage itself) in the others.
+type Failure struct {
+	ImportPath string
+	Err        string
+}
+
+func (f Failure) String() string { return f.ImportPath + ": " + f.Err }
+
 // Load lists patterns, typechecks every non-dependency package, and
-// returns the units in `go list` order. When cfg.Tests is set, a
-// package with in-package tests is analyzed once as its test variant
-// ("pkg [pkg.test]", which compiles GoFiles+TestGoFiles together)
-// instead of twice.
-func Load(cfg Config, patterns ...string) ([]*Unit, error) {
+// returns the units in `go list` order — which, because of -deps, is
+// dependency order: a unit's imports always precede it, so a driver
+// running analyzers in slice order sees every dependency's facts
+// before they are needed. When cfg.Tests is set, a package with
+// in-package tests is analyzed once as its test variant ("pkg
+// [pkg.test]", which compiles GoFiles+TestGoFiles together) instead of
+// twice.
+//
+// Packages that fail to list, parse, or typecheck are returned as
+// Failures next to the units that loaded; only infrastructure errors
+// (go list itself failing) are returned as err.
+func Load(cfg Config, patterns ...string) ([]*Unit, []Failure, error) {
 	pkgs, err := goList(cfg, patterns)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	// Index export data by resolved package path for the importer.
@@ -92,48 +121,82 @@ func Load(cfg Config, patterns ...string) ([]*Unit, error) {
 	})
 
 	var units []*Unit
+	var failures []Failure
 	for _, p := range pkgs {
-		if !analyzable(p, cfg.Tests, pkgs) {
+		if p.Error != nil {
+			// Check the error before classify: a pattern that matched
+			// nothing lists as a package with no GoFiles, which
+			// classify would skip — the failure must surface, not
+			// vanish. Standard-library and not-requested dependency
+			// errors stay silent; they are not ours to report.
+			if !p.Standard && !strings.HasSuffix(p.ImportPath, ".test") && (cfg.Deps || !p.DepOnly) {
+				failures = append(failures, Failure{p.ImportPath, p.Error.Err})
+			}
 			continue
 		}
-		if p.Error != nil {
-			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		mode := classify(p, cfg, pkgs)
+		if mode == skipUnit {
+			continue
 		}
 		if len(p.CgoFiles) > 0 {
-			// cgo units need the generated sources; out of scope.
+			failures = append(failures, Failure{p.ImportPath, "cgo package: not analyzable without generated sources"})
 			continue
 		}
 		u, err := check(fset, gc, p)
 		if err != nil {
-			return nil, err
+			failures = append(failures, Failure{p.ImportPath, err.Error()})
+			continue
 		}
+		u.FactsOnly = mode == factsUnit
 		units = append(units, u)
 	}
-	return units, nil
+	return units, failures, nil
 }
 
-// analyzable reports whether p is a root unit the driver should
-// typecheck and analyze (rather than an import supplying export data).
-func analyzable(p *Package, tests bool, all []*Package) bool {
-	if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
-		return false
+type unitMode int
+
+const (
+	skipUnit  unitMode = iota // not analyzed at all
+	fullUnit                  // diagnostics + facts
+	factsUnit                 // facts only, diagnostics discarded
+)
+
+// classify decides how the driver treats p: a root match is analyzed
+// fully; a module dependency (with cfg.Deps) facts-only. A plain root
+// shadowed by its test variant is also analyzed facts-only — go list's
+// dependency order guarantees the *plain* package precedes every
+// dependent, while the test variant (which re-checks the same files
+// plus _test.go, and is where the diagnostics come from) carries no
+// such guarantee relative to other roots.
+func classify(p *Package, cfg Config, all []*Package) unitMode {
+	if p.Standard || len(p.GoFiles) == 0 {
+		return skipUnit
+	}
+	if p.DepOnly {
+		if cfg.Deps {
+			return factsUnit
+		}
+		return skipUnit
 	}
 	if strings.HasSuffix(p.ImportPath, ".test") {
-		return false // generated test main package
+		return skipUnit // generated test main package
 	}
-	if !tests {
-		return p.ForTest == ""
+	if !cfg.Tests {
+		if p.ForTest == "" {
+			return fullUnit
+		}
+		return skipUnit
 	}
 	if p.ForTest != "" {
-		return true // "pkg [pkg.test]" or "pkg_test [pkg.test]"
+		return fullUnit // "pkg [pkg.test]" or "pkg_test [pkg.test]"
 	}
-	// Plain package: skip if a test variant shadows it.
+	// Plain package shadowed by a test variant: facts-only.
 	for _, q := range all {
 		if q.ForTest == p.ImportPath && !q.DepOnly {
-			return false
+			return factsUnit
 		}
 	}
-	return true
+	return fullUnit
 }
 
 func check(fset *token.FileSet, gc types.Importer, p *Package) (*Unit, error) {

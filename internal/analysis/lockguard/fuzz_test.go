@@ -1,0 +1,61 @@
+package lockguard
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAnnotationRegexps pins the comment-scraping regexes against
+// arbitrary doc text: they must never panic, and anything they extract
+// must be a well-formed identifier pair — a mis-lex here would silently
+// bind a guard annotation to the wrong field.
+func FuzzAnnotationRegexps(f *testing.F) {
+	seeds := []string{
+		"guarded by mu",
+		"guarded by s.mu",
+		"x guarded by  mu trailing",
+		"Caller holds s.mu.",
+		"caller must hold c.mu",
+		"Caller\nholds\ns.mu (doc comments wrap)",
+		"guarded by 0bad",
+		"caller holds .",
+		strings.Repeat("guarded by mu ", 200),
+		"guarded by \xff\xfe",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	ident := func(t *testing.T, s string) {
+		if s == "" {
+			return // optional capture groups may be empty
+		}
+		for i, r := range s {
+			alpha := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+			if !alpha && (i == 0 || r < '0' || r > '9') {
+				t.Fatalf("captured %q is not an identifier", s)
+			}
+		}
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		if m := guardRe.FindStringSubmatch(text); m != nil {
+			if len(m) != 3 {
+				t.Fatalf("guardRe produced %d groups, want 3", len(m))
+			}
+			if m[1] == "" {
+				t.Fatal("guardRe matched without a mutex name")
+			}
+			ident(t, m[1])
+			ident(t, m[2])
+		}
+		for _, m := range holdsRe.FindAllStringSubmatch(text, -1) {
+			if len(m) != 3 {
+				t.Fatalf("holdsRe produced %d groups, want 3", len(m))
+			}
+			if m[1] == "" || m[2] == "" {
+				t.Fatalf("holdsRe matched with empty receiver/field: %q", m[0])
+			}
+			ident(t, m[1])
+			ident(t, m[2])
+		}
+	})
+}

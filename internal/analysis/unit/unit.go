@@ -3,8 +3,14 @@
 // unit with a JSON .cfg file describing sources, the import map, and
 // compiler export data, and expects diagnostics on stderr plus a facts
 // file at VetxOutput. This mirrors x/tools' unitchecker (which the
-// repo cannot vendor offline); snaplint's analyzers carry no
-// cross-package facts, so the facts file is always empty.
+// repo cannot vendor offline).
+//
+// Facts: before the pass, the .vetx files of the unit's dependencies
+// (cfg.PackageVetx) are decoded into a facts.Store; after it, the
+// facts the analyzers exported for this unit are serialized to
+// cfg.VetxOutput, which cmd/go caches and feeds to dependent units.
+// Dependency-only units (VetxOnly) are typechecked and analyzed with
+// diagnostics discarded, purely to compute their facts.
 //
 // The protocol, as spoken by cmd/go:
 //
@@ -25,6 +31,7 @@ import (
 	"io"
 	"os"
 
+	"github.com/snapml/snap/internal/analysis/facts"
 	"github.com/snapml/snap/internal/analysis/lint"
 )
 
@@ -93,15 +100,15 @@ func Run(configFile string, analyzers []*lint.Analyzer) ([]string, error) {
 		return nil, fmt.Errorf("package has no files: %s", cfg.ImportPath)
 	}
 
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			return nil, fmt.Errorf("writing facts output: %v", err)
+	store := facts.NewStore(analyzers)
+	for path, vetx := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetx)
+		if err != nil {
+			return nil, fmt.Errorf("reading facts of %s: %v", path, err)
 		}
-	}
-	if cfg.VetxOnly {
-		// Dependency-only run: snaplint produces no facts, so there
-		// is nothing to compute.
-		return nil, nil
+		if err := store.Decode(path, data); err != nil {
+			return nil, err
+		}
 	}
 
 	fset := token.NewFileSet()
@@ -110,7 +117,7 @@ func Run(configFile string, analyzers []*lint.Analyzer) ([]string, error) {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return nil, nil // the compiler will report it
+				return nil, writeVetx(cfg, store) // the compiler will report it
 			}
 			return nil, err
 		}
@@ -147,12 +154,18 @@ func Run(configFile string, analyzers []*lint.Analyzer) ([]string, error) {
 	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return nil, nil
+			return nil, writeVetx(cfg, store)
 		}
 		return nil, err
 	}
 
+	ignores := lint.NewIgnoreIndex(fset, files)
 	var out []string
+	if !cfg.VetxOnly {
+		for _, d := range ignores.Bad {
+			out = append(out, fmt.Sprintf("%s: %s", fset.Position(d.Pos), d.Message))
+		}
+	}
 	for _, a := range analyzers {
 		pass := &lint.Pass{
 			Analyzer:  a,
@@ -161,14 +174,35 @@ func Run(configFile string, analyzers []*lint.Analyzer) ([]string, error) {
 			Pkg:       pkg,
 			TypesInfo: info,
 		}
+		store.Install(pass)
+		name := a.Name
 		pass.Report = func(d lint.Diagnostic) {
+			if cfg.VetxOnly || ignores.Ignored(d.Pos, name) {
+				return
+			}
 			out = append(out, fmt.Sprintf("%s: %s", fset.Position(d.Pos), d.Message))
 		}
 		if _, err := a.Run(pass); err != nil {
 			return out, fmt.Errorf("analyzer %s: %v", a.Name, err)
 		}
 	}
-	return out, nil
+	return out, writeVetx(cfg, store)
+}
+
+// writeVetx serializes the unit's exported facts to cfg.VetxOutput
+// (facts.NormPath keys test variants under their clean import path).
+func writeVetx(cfg *Config, store *facts.Store) error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	data, err := store.Encode(cfg.ImportPath)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
+		return fmt.Errorf("writing facts output: %v", err)
+	}
+	return nil
 }
 
 type importerFunc func(path string) (*types.Package, error)

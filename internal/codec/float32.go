@@ -26,6 +26,8 @@ const (
 
 // ChooseFormat32 returns the cheaper float32 layout (same rule as
 // ChooseFormat).
+//
+//snap:alloc-free
 func ChooseFormat32(n, m int) Format {
 	if n > 2*m+1 {
 		return FormatUnchangedList32
@@ -44,6 +46,8 @@ func EncodeLossy(u *Update) ([]byte, Format, error) {
 // EncodeLossyTo is EncodeLossy into a caller-owned buffer: the frame is
 // appended to buf[:0] (buf may be nil) and returned; see EncodeTo for
 // the ownership rule.
+//
+//snap:alloc-free
 func EncodeLossyTo(buf []byte, u *Update) ([]byte, Format, error) {
 	if err := u.Validate(); err != nil {
 		return nil, 0, err
@@ -53,11 +57,10 @@ func EncodeLossyTo(buf []byte, u *Update) ([]byte, Format, error) {
 	return out, f, err
 }
 
+//snap:alloc-free
 func encodeAs32(buf []byte, u *Update, f Format) ([]byte, error) {
 	n, m := u.NumParams, u.NumWithheld()
-	if need := HeaderBytes + PayloadBytes(n, m, f); cap(buf) < need {
-		buf = make([]byte, 0, need)
-	}
+	buf = growFrame(buf, HeaderBytes+PayloadBytes(n, m, f))
 	buf = append(buf[:0], byte(f))
 	buf = binary.BigEndian.AppendUint32(buf, uint32(u.Sender))
 	buf = binary.BigEndian.AppendUint32(buf, uint32(u.Round))
@@ -91,6 +94,9 @@ func encodeAs32(buf []byte, u *Update, f Format) ([]byte, error) {
 // decode32 parses the float32 frame bodies (called from DecodeInto,
 // which has already reset u's slices; same strictly-increasing
 // unchanged-index rule as the float64 formats).
+//
+//snap:alloc-free
+//snap:borrows body
 func decode32(f Format, u *Update, body []byte) error {
 	switch f {
 	case FormatUnchangedList32:

@@ -335,6 +335,8 @@ func (e *Engine) Neighbors() []int {
 func (e *Engine) RestartNow() { e.restartRecursion() }
 
 // publishAPE mirrors the APE controller's state into the gauges.
+//
+//snap:alloc-free
 func (e *Engine) publishAPE() {
 	e.met.apeStage.Set(float64(e.ape.Stage()))
 	e.met.apeThreshold.Set(e.ape.Threshold())
@@ -342,6 +344,8 @@ func (e *Engine) publishAPE() {
 }
 
 // ID returns the node id.
+//
+//snap:alloc-free
 func (e *Engine) ID() int { return e.cfg.ID }
 
 // Params returns a copy of the current iterate. The engine recycles its
@@ -356,6 +360,8 @@ func (e *Engine) Params() linalg.Vector { return e.x.Clone() }
 // feed, periodic checkpoints): the caller owns dst outright, so later
 // Steps never mutate it. Like the linalg kernels it panics on a length
 // mismatch rather than resizing.
+//
+//snap:alloc-free
 func (e *Engine) ParamsInto(dst linalg.Vector) linalg.Vector {
 	if len(dst) != len(e.x) {
 		panic(fmt.Sprintf("core: ParamsInto dst has %d entries, want %d", len(dst), len(e.x)))
@@ -366,6 +372,8 @@ func (e *Engine) ParamsInto(dst linalg.Vector) linalg.Vector {
 
 // Restarts returns how many APE stage transitions have restarted the
 // EXTRA recursion.
+//
+//snap:alloc-free
 func (e *Engine) Restarts() int { return e.restarts }
 
 // LocalLoss evaluates the node's objective f_i at its current iterate over
@@ -381,6 +389,9 @@ func (e *Engine) LocalLoss() float64 {
 //
 // The returned *codec.Update is engine-owned scratch: it is valid until
 // the next BuildUpdate call and must not be retained or mutated.
+//
+//snap:alloc-free
+//snap:returns-borrowed
 func (e *Engine) BuildUpdate(round int) (*codec.Update, error) {
 	if len(e.lastSent) != len(e.x) {
 		return nil, fmt.Errorf("core: node %d sent-baseline has %d params, iterate has %d",
@@ -429,11 +440,19 @@ func (e *Engine) BuildUpdate(round int) (*codec.Update, error) {
 	e.met.paramsWithheld.Add(int64(len(e.x) - len(u.Indices)))
 	if fullReason != "" && e.cfg.Policy != SendAll {
 		e.met.fullSends.Inc()
-		if e.cfg.Obs != nil {
-			e.cfg.Obs.Emit(e.cfg.ID, obs.EvRefresh, round, -1, map[string]any{"reason": fullReason})
-		}
+		//snaplint:ignore allocfree full-send lifecycle event; fires once per RefreshEvery rounds, not per round
+		e.emitRefresh(round, fullReason)
 	}
 	return u, nil
+}
+
+// emitRefresh records a policy-elevation lifecycle event. It allocates
+// (event fields ride a map), which is why BuildUpdate only calls it on
+// the rare full-send rounds.
+func (e *Engine) emitRefresh(round int, reason string) {
+	if e.cfg.Obs != nil {
+		e.cfg.Obs.Emit(e.cfg.ID, obs.EvRefresh, round, -1, map[string]any{"reason": reason})
+	}
 }
 
 // RequestFullSend forces the next BuildUpdate to transmit the complete
@@ -443,6 +462,8 @@ func (e *Engine) BuildUpdate(round int) (*codec.Update, error) {
 // retransmit, and EXTRA's accumulated correction term turns that silent
 // staleness into a permanent bias. Not safe for concurrent use with
 // BuildUpdate (call from the training-loop goroutine).
+//
+//snap:alloc-free
 func (e *Engine) RequestFullSend() { e.forceFull = true }
 
 // markSent records what the receivers will hold for us after applying u.
@@ -451,6 +472,8 @@ func (e *Engine) RequestFullSend() { e.forceFull = true }
 // selective diffs must be computed against; recording the unrounded
 // value would leave a permanent sub-rounding discrepancy the diff
 // protocol could never see or repair.
+//
+//snap:alloc-free
 func (e *Engine) markSent(u *codec.Update) {
 	if e.cfg.Float32Wire {
 		for i, idx := range u.Indices {
@@ -467,6 +490,8 @@ func (e *Engine) markSent(u *codec.Update) {
 // previous neighbor view becomes the x^k view; missing neighbors (withheld
 // parameters, stragglers, failed links) simply keep their last values —
 // the paper's staleness semantics.
+//
+//snap:alloc-free
 func (e *Engine) Integrate(updates []*codec.Update) error {
 	for s := range e.nbrIDs {
 		copy(e.nbrPrev[s], e.nbrCur[s])
@@ -489,6 +514,9 @@ func (e *Engine) Integrate(updates []*codec.Update) error {
 //
 // The returned vector is the engine's live iterate: read-only, valid
 // until the next Step. Use Params for a stable copy.
+//
+//snap:alloc-free
+//snap:returns-borrowed
 func (e *Engine) Step(round int) linalg.Vector {
 	start := time.Now()
 	batch := e.cfg.Data.Samples
@@ -537,13 +565,8 @@ func (e *Engine) Step(round int) linalg.Vector {
 		// literal Algorithm-1 reading is requested, restart the recursion
 		// from the current solution.
 		e.publishAPE()
-		if e.cfg.Obs != nil {
-			e.cfg.Obs.Emit(e.cfg.ID, obs.EvAPEStage, round, -1, map[string]any{
-				"stage":          e.ape.Stage(),
-				"threshold":      e.ape.Threshold(),
-				"send_threshold": e.ape.SendThreshold(),
-			})
-		}
+		//snaplint:ignore allocfree APE stage-transition event; fires once per stage, not per round
+		e.emitAPEStage(round)
 		if e.cfg.APE.RestartRecursion {
 			e.restartRecursion()
 		}
@@ -554,10 +577,25 @@ func (e *Engine) Step(round int) linalg.Vector {
 	return e.x
 }
 
+// emitAPEStage records a stage-transition lifecycle event. It allocates
+// (event fields ride a map), which is why Step only calls it on the
+// rare stage boundaries.
+func (e *Engine) emitAPEStage(round int) {
+	if e.cfg.Obs != nil {
+		e.cfg.Obs.Emit(e.cfg.ID, obs.EvAPEStage, round, -1, map[string]any{
+			"stage":          e.ape.Stage(),
+			"threshold":      e.ape.Threshold(),
+			"send_threshold": e.ape.SendThreshold(),
+		})
+	}
+}
+
 // restartRecursion resets the EXTRA two-term recursion so the next Step
 // applies the k=0 equation from the current iterate. The xPrev/gPrev
 // buffers keep their storage (the k=0 step never reads them and
 // overwrites both via rotation).
+//
+//snap:alloc-free
 func (e *Engine) restartRecursion() {
 	e.k = 0
 	e.restarts++
@@ -567,6 +605,8 @@ func (e *Engine) restartRecursion() {
 // APEStage returns the APE controller's stage, threshold and send
 // threshold for observability; it returns zeros when the policy has no
 // controller.
+//
+//snap:alloc-free
 func (e *Engine) APEStage() (stage int, threshold, sendThreshold float64) {
 	if e.ape == nil {
 		return 0, 0, 0

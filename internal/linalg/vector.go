@@ -55,6 +55,8 @@ func (v Vector) Scale(c float64) Vector {
 }
 
 // AddInPlace sets v = v + w and returns v.
+//
+//snap:alloc-free
 func (v Vector) AddInPlace(w Vector) Vector {
 	checkLen(v, w)
 	for i := range v {
@@ -64,6 +66,8 @@ func (v Vector) AddInPlace(w Vector) Vector {
 }
 
 // AXPYInPlace sets v = v + c*w and returns v.
+//
+//snap:alloc-free
 func (v Vector) AXPYInPlace(c float64, w Vector) Vector {
 	checkLen(v, w)
 	for i := range v {
@@ -73,6 +77,8 @@ func (v Vector) AXPYInPlace(c float64, w Vector) Vector {
 }
 
 // Dot returns the inner product <v, w>.
+//
+//snap:alloc-free
 func (v Vector) Dot(w Vector) float64 {
 	checkLen(v, w)
 	var s float64
@@ -83,9 +89,13 @@ func (v Vector) Dot(w Vector) float64 {
 }
 
 // Norm2 returns the Euclidean norm of v.
+//
+//snap:alloc-free
 func (v Vector) Norm2() float64 { return math.Sqrt(v.Dot(v)) }
 
 // NormInf returns the max-absolute-value norm of v.
+//
+//snap:alloc-free
 func (v Vector) NormInf() float64 {
 	var m float64
 	for _, x := range v {
@@ -97,6 +107,8 @@ func (v Vector) NormInf() float64 {
 }
 
 // Sum returns the sum of the entries of v.
+//
+//snap:alloc-free
 func (v Vector) Sum() float64 {
 	var s float64
 	for _, x := range v {
@@ -115,6 +127,8 @@ func (v Vector) Mean() float64 {
 }
 
 // Fill sets every entry of v to c and returns v.
+//
+//snap:alloc-free
 func (v Vector) Fill(c float64) Vector {
 	for i := range v {
 		v[i] = c
@@ -136,6 +150,7 @@ func (v Vector) Equal(w Vector, tol float64) bool {
 	return true
 }
 
+//snap:alloc-free
 func checkLen(v, w Vector) {
 	if len(v) != len(w) {
 		panic(fmt.Sprintf("linalg: vector length mismatch %d != %d", len(v), len(w)))

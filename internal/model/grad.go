@@ -17,11 +17,13 @@ type BatchAccumulator interface {
 	Model
 	// RegGradTo overwrites dst with the batch-independent gradient term
 	// (the regularizer ∇r(params); all zeros for unregularized models).
+	//snap:alloc-free
 	RegGradTo(dst, params linalg.Vector)
 	// AccumGrad adds the unscaled per-sample loss-gradient terms of
 	// batch to dst: dst += Σ_s ∇ℓ(params; s). The 1/m mean scaling is
 	// applied once by GradientTo, not per sample. Implementations must
 	// be safe for concurrent calls with disjoint dst buffers.
+	//snap:alloc-free
 	AccumGrad(dst, params linalg.Vector, batch []dataset.Sample)
 }
 
@@ -39,6 +41,7 @@ type GradScratch struct {
 	partials []linalg.Vector
 }
 
+//snap:allocs-amortized
 func (sc *GradScratch) ensure(shards, p int) {
 	if len(sc.partials) > 0 && len(sc.partials[0]) != p {
 		sc.partials = sc.partials[:0]
@@ -71,6 +74,7 @@ func (sc *GradScratch) accumParallel(acc BatchAccumulator, params linalg.Vector,
 	wg.Wait()
 }
 
+//snap:alloc-free
 func (sc *GradScratch) accumShard(acc BatchAccumulator, params linalg.Vector, batch []dataset.Sample, k int) {
 	lo := k * GradShardSize
 	hi := lo + GradShardSize
@@ -96,6 +100,8 @@ func (sc *GradScratch) accumShard(acc BatchAccumulator, params linalg.Vector, ba
 //
 // Models without the capability fall back to Model.Gradient (one
 // allocation, serial).
+//
+//snap:alloc-free
 func GradientTo(m Model, dst, params linalg.Vector, batch []dataset.Sample, sc *GradScratch, workers int) linalg.Vector {
 	acc, ok := m.(BatchAccumulator)
 	if !ok {
@@ -108,6 +114,7 @@ func GradientTo(m Model, dst, params linalg.Vector, batch []dataset.Sample, sc *
 	}
 	shards := (len(batch) + GradShardSize - 1) / GradShardSize
 	if sc == nil {
+		//snaplint:ignore allocfree nil-scratch fallback allocates once per caller, not per round
 		sc = &GradScratch{}
 	}
 	sc.ensure(shards, len(dst))
@@ -121,6 +128,7 @@ func GradientTo(m Model, dst, params linalg.Vector, batch []dataset.Sample, sc *
 	} else {
 		// Kept out of line so the escaping WaitGroup/counter locals are
 		// only heap-allocated when the parallel path actually runs.
+		//snaplint:ignore allocfree the parallel path heap-allocates its worker pool by design; single-shard batches never take it
 		sc.accumParallel(acc, params, batch, shards, workers)
 	}
 	// Fixed-shape pairwise reduction over the shard partials. The combine

@@ -35,8 +35,11 @@ func NewLogisticRegression(d int) *LogisticRegression {
 func (m *LogisticRegression) Name() string { return "logistic-regression" }
 
 // NumParams implements Model.
+//
+//snap:alloc-free
 func (m *LogisticRegression) NumParams() int { return m.Features + 1 }
 
+//snap:alloc-free
 func (m *LogisticRegression) lambda() float64 {
 	if m.Lambda <= 0 {
 		return 1e-3
@@ -71,6 +74,8 @@ func (m *LogisticRegression) Gradient(p linalg.Vector, batch []dataset.Sample) l
 
 // RegGradTo implements BatchAccumulator: λw on the weights, 0 on the
 // bias.
+//
+//snap:alloc-free
 func (m *LogisticRegression) RegGradTo(dst, p linalg.Vector) {
 	m.checkDim(p)
 	for j := 0; j < m.Features; j++ {
@@ -80,6 +85,8 @@ func (m *LogisticRegression) RegGradTo(dst, p linalg.Vector) {
 }
 
 // AccumGrad implements BatchAccumulator (unscaled per-sample terms).
+//
+//snap:alloc-free
 func (m *LogisticRegression) AccumGrad(dst, p linalg.Vector, batch []dataset.Sample) {
 	w, b := p[:m.Features], p[m.Features]
 	for _, s := range batch {
@@ -95,6 +102,8 @@ func (m *LogisticRegression) AccumGrad(dst, p linalg.Vector, batch []dataset.Sam
 }
 
 // Predict implements Model.
+//
+//snap:alloc-free
 func (m *LogisticRegression) Predict(p linalg.Vector, x []float64) int {
 	w, b := p[:m.Features], p[m.Features]
 	if dot(w, x)+b > 0 {
@@ -105,9 +114,13 @@ func (m *LogisticRegression) Predict(p linalg.Vector, x []float64) int {
 
 // PredictScratchSize implements BatchPredictor: the logit is a single
 // dot product plus the bias, no scratch needed.
+//
+//snap:alloc-free
 func (m *LogisticRegression) PredictScratchSize() int { return 0 }
 
 // PredictInto implements BatchPredictor.
+//
+//snap:alloc-free
 func (m *LogisticRegression) PredictInto(p linalg.Vector, x []float64, _ []float64) int {
 	return m.Predict(p, x)
 }
@@ -122,6 +135,7 @@ func (m *LogisticRegression) InitParams(seed int64) linalg.Vector {
 	return p
 }
 
+//snap:alloc-free
 func (m *LogisticRegression) checkDim(p linalg.Vector) {
 	if len(p) != m.NumParams() {
 		panic(fmt.Sprintf("model: logreg params have %d entries, want %d", len(p), m.NumParams()))
@@ -129,6 +143,8 @@ func (m *LogisticRegression) checkDim(p linalg.Vector) {
 }
 
 // softplus computes log(1+exp(z)) without overflow.
+//
+//snap:alloc-free
 func softplus(z float64) float64 {
 	if z > 30 {
 		return z

@@ -36,11 +36,15 @@ func NewMLP(in, hidden, out int) *MLP {
 func (m *MLP) Name() string { return fmt.Sprintf("mlp-%d-%d-%d", m.In, m.Hidden, m.Out) }
 
 // NumParams implements Model.
+//
+//snap:alloc-free
 func (m *MLP) NumParams() int {
 	return m.In*m.Hidden + m.Hidden + m.Hidden*m.Out + m.Out
 }
 
 // Parameter block offsets within the flat vector.
+//
+//snap:alloc-free
 func (m *MLP) offsets() (w1, b1, w2, b2 int) {
 	w1 = 0
 	b1 = m.In * m.Hidden
@@ -92,6 +96,8 @@ func (m *MLP) Gradient(p linalg.Vector, batch []dataset.Sample) linalg.Vector {
 }
 
 // RegGradTo implements BatchAccumulator: the MLP is unregularized.
+//
+//snap:alloc-free
 func (m *MLP) RegGradTo(dst, p linalg.Vector) {
 	m.checkDim(p)
 	dst.Fill(0)
@@ -148,11 +154,15 @@ func (m *MLP) Predict(p linalg.Vector, x []float64) int {
 
 // PredictScratchSize implements BatchPredictor: the hidden activations
 // plus the output logits.
+//
+//snap:alloc-free
 func (m *MLP) PredictScratchSize() int { return m.Hidden + m.Out }
 
 // PredictInto implements BatchPredictor. Softmax is monotone, so the
 // argmax over the output logits matches Predict's argmax over
 // probabilities without the exp/normalize pass.
+//
+//snap:alloc-free
 func (m *MLP) PredictInto(p linalg.Vector, x []float64, scratch []float64) int {
 	w1o, b1o, w2o, b2o := m.offsets()
 	hidden := scratch[:m.Hidden]
@@ -196,6 +206,7 @@ func (m *MLP) InitParams(seed int64) linalg.Vector {
 	return p
 }
 
+//snap:alloc-free
 func (m *MLP) checkDim(p linalg.Vector) {
 	if len(p) != m.NumParams() {
 		panic(fmt.Sprintf("model: mlp params have %d entries, want %d", len(p), m.NumParams()))

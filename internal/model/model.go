@@ -56,6 +56,7 @@ func MeanLoss(m Model, params linalg.Vector, ds *dataset.Dataset) float64 {
 	return m.Loss(params, ds.Samples)
 }
 
+//snap:alloc-free
 func sigmoid(z float64) float64 {
 	// Numerically stable in both tails.
 	if z >= 0 {
@@ -66,6 +67,8 @@ func sigmoid(z float64) float64 {
 }
 
 // signedLabel maps a {0,1} class label to {-1,+1} for margin losses.
+//
+//snap:alloc-free
 func signedLabel(label int) float64 {
 	if label == 0 {
 		return -1

@@ -14,11 +14,13 @@ type BatchPredictor interface {
 	// PredictScratchSize returns how many float64 scratch slots one
 	// PredictInto call needs (0 for linear binary models whose score is a
 	// single dot product).
+	//snap:alloc-free
 	PredictScratchSize() int
 	// PredictInto returns the predicted class label for features x,
 	// using scratch (len >= PredictScratchSize()) for any intermediate
 	// activations. It must be pure in (params, x) — identical to
 	// Predict — and safe for concurrent calls with disjoint scratch.
+	//snap:alloc-free
 	PredictInto(params linalg.Vector, x []float64, scratch []float64) int
 }
 
@@ -29,6 +31,7 @@ type PredictScratch struct {
 	buf []float64
 }
 
+//snap:allocs-amortized
 func (sc *PredictScratch) ensure(n int) []float64 {
 	if cap(sc.buf) < n {
 		sc.buf = make([]float64, n)
@@ -43,6 +46,8 @@ func (sc *PredictScratch) ensure(n int) []float64 {
 // PredictInto with a scratch buffer recycled from sc, so the steady state
 // allocates nothing; other models fall back to Model.Predict row by row.
 // A nil sc allocates a private scratch (one allocation, not per row).
+//
+//snap:alloc-free
 func PredictBatchInto(m Model, dst []int, params linalg.Vector, xs [][]float64, sc *PredictScratch) []int {
 	bp, ok := m.(BatchPredictor)
 	if !ok {
@@ -52,6 +57,7 @@ func PredictBatchInto(m Model, dst []int, params linalg.Vector, xs [][]float64, 
 		return dst[:len(xs)]
 	}
 	if sc == nil {
+		//snaplint:ignore allocfree nil-scratch fallback allocates once per caller, not per request
 		sc = &PredictScratch{}
 	}
 	scratch := sc.ensure(bp.PredictScratchSize())
@@ -74,6 +80,7 @@ func AccuracyBatch(m Model, params linalg.Vector, ds *dataset.Dataset, sc *Predi
 		return Accuracy(m, params, ds)
 	}
 	if sc == nil {
+		//snaplint:ignore allocfree nil-scratch fallback allocates once per caller, not per request
 		sc = &PredictScratch{}
 	}
 	scratch := sc.ensure(bp.PredictScratchSize())

@@ -41,8 +41,11 @@ func (m *SoftmaxRegression) Name() string {
 }
 
 // NumParams implements Model.
+//
+//snap:alloc-free
 func (m *SoftmaxRegression) NumParams() int { return m.Classes*m.Features + m.Classes }
 
+//snap:alloc-free
 func (m *SoftmaxRegression) lambda() float64 {
 	if m.Lambda <= 0 {
 		return 1e-4
@@ -56,6 +59,8 @@ func (m *SoftmaxRegression) logits(p linalg.Vector, x []float64) []float64 {
 }
 
 // logitsInto computes the per-class scores for x into out (len Classes).
+//
+//snap:alloc-free
 func (m *SoftmaxRegression) logitsInto(out []float64, p linalg.Vector, x []float64) []float64 {
 	biasOff := m.Classes * m.Features
 	for c := 0; c < m.Classes; c++ {
@@ -95,6 +100,8 @@ func (m *SoftmaxRegression) Gradient(p linalg.Vector, batch []dataset.Sample) li
 
 // RegGradTo implements BatchAccumulator: λW on the weights, 0 on the
 // biases.
+//
+//snap:alloc-free
 func (m *SoftmaxRegression) RegGradTo(dst, p linalg.Vector) {
 	m.checkDim(p)
 	l := m.lambda()
@@ -139,11 +146,15 @@ func (m *SoftmaxRegression) Predict(p linalg.Vector, x []float64) int {
 }
 
 // PredictScratchSize implements BatchPredictor: one slot per class logit.
+//
+//snap:alloc-free
 func (m *SoftmaxRegression) PredictScratchSize() int { return m.Classes }
 
 // PredictInto implements BatchPredictor. Softmax is monotone, so the
 // argmax over raw logits matches Predict's argmax over class scores
 // without ever exponentiating.
+//
+//snap:alloc-free
 func (m *SoftmaxRegression) PredictInto(p linalg.Vector, x []float64, scratch []float64) int {
 	logits := m.logitsInto(scratch[:m.Classes], p, x)
 	best, bestV := 0, logits[0]
@@ -165,6 +176,7 @@ func (m *SoftmaxRegression) InitParams(seed int64) linalg.Vector {
 	return p
 }
 
+//snap:alloc-free
 func (m *SoftmaxRegression) checkDim(p linalg.Vector) {
 	if len(p) != m.NumParams() {
 		panic(fmt.Sprintf("model: softmax params have %d entries, want %d", len(p), m.NumParams()))

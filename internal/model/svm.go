@@ -39,8 +39,11 @@ func NewLinearSVM(d int) *LinearSVM { return &LinearSVM{Features: d, Lambda: 1e-
 func (m *LinearSVM) Name() string { return "linear-svm" }
 
 // NumParams implements Model.
+//
+//snap:alloc-free
 func (m *LinearSVM) NumParams() int { return m.Features }
 
+//snap:alloc-free
 func (m *LinearSVM) lambda() float64 {
 	if m.Lambda <= 0 {
 		return 1e-3
@@ -72,6 +75,8 @@ func (m *LinearSVM) Gradient(w linalg.Vector, batch []dataset.Sample) linalg.Vec
 }
 
 // RegGradTo implements BatchAccumulator: ∇(λ/2)||w||² = λw.
+//
+//snap:alloc-free
 func (m *LinearSVM) RegGradTo(dst, w linalg.Vector) {
 	m.checkDim(w)
 	linalg.ScaleTo(dst, m.lambda(), w)
@@ -79,6 +84,8 @@ func (m *LinearSVM) RegGradTo(dst, w linalg.Vector) {
 
 // AccumGrad implements BatchAccumulator: dst −= Σ 2·max(0, 1−y·w·x)·y·x
 // (unscaled; GradientTo applies the 1/m).
+//
+//snap:alloc-free
 func (m *LinearSVM) AccumGrad(dst, w linalg.Vector, batch []dataset.Sample) {
 	for _, s := range batch {
 		y := signedLabel(s.Label)
@@ -92,6 +99,8 @@ func (m *LinearSVM) AccumGrad(dst, w linalg.Vector, batch []dataset.Sample) {
 }
 
 // Predict implements Model: positive margin means class 1.
+//
+//snap:alloc-free
 func (m *LinearSVM) Predict(w linalg.Vector, x []float64) int {
 	if dot(w, x) > 0 {
 		return 1
@@ -101,9 +110,13 @@ func (m *LinearSVM) Predict(w linalg.Vector, x []float64) int {
 
 // PredictScratchSize implements BatchPredictor: the margin is a single
 // dot product, no scratch needed.
+//
+//snap:alloc-free
 func (m *LinearSVM) PredictScratchSize() int { return 0 }
 
 // PredictInto implements BatchPredictor.
+//
+//snap:alloc-free
 func (m *LinearSVM) PredictInto(w linalg.Vector, x []float64, _ []float64) int {
 	return m.Predict(w, x)
 }
@@ -122,12 +135,14 @@ func (m *LinearSVM) InitParams(seed int64) linalg.Vector {
 	return w
 }
 
+//snap:alloc-free
 func (m *LinearSVM) checkDim(w linalg.Vector) {
 	if len(w) != m.Features {
 		panic(fmt.Sprintf("model: svm params have %d entries, want %d", len(w), m.Features))
 	}
 }
 
+//snap:alloc-free
 func dot(w linalg.Vector, x []float64) float64 {
 	var s float64
 	for j, xj := range x {

@@ -27,6 +27,9 @@ type Snapshot struct {
 
 // Params returns the snapshot's parameter vector. Callers must treat it
 // as read-only and must not retain it past Release.
+//
+//snap:returns-borrowed
+//snap:alloc-free
 func (s *Snapshot) Params() linalg.Vector { return s.params }
 
 // Round returns the training round the snapshot was taken at.
