@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"github.com/snapml/snap/internal/codec"
@@ -166,13 +167,14 @@ type roundCmd struct {
 // engineRunner is one node's persistent worker state.
 type engineRunner struct {
 	eng *Engine
-	enc []byte // reusable wire-frame buffer
-	// decoded backs the updates received each round; updates holds
-	// pointers into it. Both are sized to the node's degree up front:
-	// appending beyond the backing array would move it and dangle the
-	// pointers already handed out.
+	// nbrs caches the node's neighbor ids (ascending) for the broadcast
+	// loop: Sim.Neighbors returns a fresh copy per call, and querying it
+	// every round was the simulator hot path's dominant allocation.
+	nbrs []int
+	enc  []byte // reusable wire-frame buffer
+	// decoded backs the per-frame decode targets, sized to the node's
+	// degree up front; slot i holds the round's i-th arrived frame.
 	decoded []codec.Update
-	updates []*codec.Update
 	cmd     chan roundCmd
 	done    chan error
 }
@@ -184,11 +186,12 @@ func (c *Cluster) startRunners() {
 	}
 	c.runners = make([]*engineRunner, len(c.engines))
 	for i, e := range c.engines {
-		degree := len(c.net.Neighbors(e.ID()))
+		nbrs := c.net.Neighbors(e.ID())
+		sort.Ints(nbrs)
 		r := &engineRunner{
 			eng:     e,
-			decoded: make([]codec.Update, degree),
-			updates: make([]*codec.Update, 0, degree),
+			nbrs:    nbrs,
+			decoded: make([]codec.Update, len(nbrs)),
 			cmd:     make(chan roundCmd),
 			done:    make(chan error),
 		}
@@ -251,41 +254,59 @@ func (c *Cluster) sendPhase(r *engineRunner, round int) error {
 	}
 	c.met.encode.Observe(time.Since(t).Seconds())
 	t = time.Now()
-	for _, j := range c.net.Neighbors(e.ID()) {
+	for _, j := range r.nbrs {
 		if err := c.net.Send(e.ID(), j, r.enc); err != nil {
 			return err
 		}
 	}
 	c.met.broadcast.Observe(time.Since(t).Seconds())
+	// Pipelined split (DESIGN.md §14): open the ingest window and compute
+	// the round's gradient now, in the phase slot where a real transport
+	// overlaps it with the in-flight gather. The gradient reads only the
+	// iterate, which phase 2's ingest never touches, so the iterates are
+	// bitwise identical to the old integrate-then-Step ordering.
+	e.BeginIntegrate()
+	e.ComputeGradient(round)
 	return nil
 }
 
-// stepPhase is phase 2 of a round: collect the inbox, decode into the
-// runner's scratch updates, integrate, and step.
+// stepPhase is phase 2 of a round: stream the inbox in ascending sender
+// order, decoding and ingesting frame by frame, then complete the EXTRA
+// iteration from the gradient sendPhase left in scratch.
 func (c *Cluster) stepPhase(r *engineRunner, round int) error {
 	e := r.eng
 	t := time.Now()
-	inbox := c.net.Collect(e.ID())
-	c.met.gather.Observe(time.Since(t).Seconds())
-	t = time.Now()
-	r.updates = r.updates[:0]
-	for _, frame := range inbox {
-		if len(r.updates) == len(r.decoded) {
-			return fmt.Errorf("core: node %d received %d frames for degree %d", e.ID(), len(inbox), len(r.decoded))
+	var decSecs, intSecs float64
+	var streamErr error
+	n := 0
+	c.net.CollectStream(e.ID(), func(from int, frame []byte) bool {
+		if n == len(r.decoded) {
+			streamErr = fmt.Errorf("core: node %d received more than its degree %d frames", e.ID(), len(r.decoded))
+			return false
 		}
-		u := &r.decoded[len(r.updates)]
+		d0 := time.Now()
+		u := &r.decoded[n]
 		if err := codec.DecodeInto(u, frame); err != nil {
-			return err
+			streamErr = err
+			return false
 		}
-		r.updates = append(r.updates, u)
+		d1 := time.Now()
+		if err := e.IngestFrame(u); err != nil {
+			streamErr = err
+			return false
+		}
+		decSecs += d1.Sub(d0).Seconds()
+		intSecs += time.Since(d1).Seconds()
+		n++
+		return true
+	})
+	c.met.gather.Observe(time.Since(t).Seconds())
+	if streamErr != nil {
+		return streamErr
 	}
-	c.met.decode.Observe(time.Since(t).Seconds())
-	t = time.Now()
-	if err := e.Integrate(r.updates); err != nil {
-		return err
-	}
-	c.met.integrate.Observe(time.Since(t).Seconds())
-	e.Step(round)
+	c.met.decode.Observe(decSecs)
+	c.met.integrate.Observe(intSecs)
+	e.StepMix(round)
 	return nil
 }
 

@@ -154,6 +154,7 @@ type Engine struct {
 	upd      codec.Update     // reusable BuildUpdate output
 	batchBuf []dataset.Sample // reusable mini-batch buffer
 	gradSc   model.GradScratch
+	gradSecs float64 // last ComputeGradient duration, folded into MComputeSeconds by StepMix
 
 	// forceFull makes the next BuildUpdate transmit the complete
 	// parameter vector regardless of policy — set after a neighbor
@@ -486,38 +487,71 @@ func (e *Engine) markSent(u *codec.Update) {
 	}
 }
 
-// Integrate applies the updates received from neighbors this round. The
-// previous neighbor view becomes the x^k view; missing neighbors (withheld
-// parameters, stragglers, failed links) simply keep their last values —
-// the paper's staleness semantics.
+// BeginIntegrate opens a round's ingest window: every neighbor slot's
+// current view is rotated down into its x^k view, after which
+// IngestFrame may be called once per arriving neighbor update. It is
+// the first half of Integrate, split out so a pipelined round can
+// rotate the views before the streaming gather starts delivering
+// frames. Must precede the round's first IngestFrame.
 //
 //snap:alloc-free
-func (e *Engine) Integrate(updates []*codec.Update) error {
+func (e *Engine) BeginIntegrate() {
 	for s := range e.nbrIDs {
 		copy(e.nbrPrev[s], e.nbrCur[s])
 	}
+}
+
+// IngestFrame applies one neighbor's decoded update to that neighbor's
+// current view, decoding into the slot as the frame lands rather than
+// waiting for the whole round's batch. Each sender owns a dedicated
+// slot and StepMix walks the slots in sorted-id order, so the iterate
+// is bitwise-independent of frame arrival order. Call between
+// BeginIntegrate and StepMix; u is borrowed for the duration of the
+// call only.
+//
+// Missing neighbors (withheld parameters, stragglers, failed links)
+// simply keep their last values — the paper's staleness semantics.
+//
+//snap:alloc-free
+func (e *Engine) IngestFrame(u *codec.Update) error {
+	slot, ok := e.nbrIdx[u.Sender]
+	if !ok {
+		return fmt.Errorf("core: node %d received update from non-neighbor %d", e.cfg.ID, u.Sender)
+	}
+	if err := codec.Apply(e.nbrCur[slot], u); err != nil {
+		return fmt.Errorf("core: node %d integrating from %d: %w", e.cfg.ID, u.Sender, err)
+	}
+	return nil
+}
+
+// Integrate applies the updates received from neighbors this round: the
+// batch form of BeginIntegrate + IngestFrame, kept for sequential
+// callers.
+//
+//snap:alloc-free
+func (e *Engine) Integrate(updates []*codec.Update) error {
+	e.BeginIntegrate()
 	for _, u := range updates {
-		slot, ok := e.nbrIdx[u.Sender]
-		if !ok {
-			return fmt.Errorf("core: node %d received update from non-neighbor %d", e.cfg.ID, u.Sender)
-		}
-		if err := codec.Apply(e.nbrCur[slot], u); err != nil {
-			return fmt.Errorf("core: node %d integrating from %d: %w", e.cfg.ID, u.Sender, err)
+		if err := e.IngestFrame(u); err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
-// Step advances the EXTRA recursion one iteration using the current
-// neighbor views, returning the new iterate. round selects the gradient
-// mini-batch when BatchSize > 0.
-//
-// The returned vector is the engine's live iterate: read-only, valid
-// until the next Step. Use Params for a stable copy.
+// ComputeGradient evaluates ∇f_i(x^{k+1}) into the engine's gradient
+// scratch for round (which selects the mini-batch when BatchSize > 0).
+// It reads only the iterate and the local partition and writes only the
+// gradient scratch — state disjoint from BeginIntegrate/IngestFrame and
+// from BuildUpdate (which read/write the neighbor views and the sent
+// baseline) — so a pipelined round may run it on another goroutine
+// concurrently with build, broadcast, and the streaming gather. That
+// disjointness is the whole overlap invariant: see DESIGN.md §14. It
+// must still be ordered (happens-before, e.g. via a channel) with
+// StepMix and with the next round's ComputeGradient.
 //
 //snap:alloc-free
-//snap:returns-borrowed
-func (e *Engine) Step(round int) linalg.Vector {
+func (e *Engine) ComputeGradient(round int) {
 	start := time.Now()
 	batch := e.cfg.Data.Samples
 	if bs := e.cfg.BatchSize; bs > 0 && bs < len(batch) {
@@ -525,9 +559,23 @@ func (e *Engine) Step(round int) linalg.Vector {
 		batch = e.batchBuf
 	}
 	model.GradientTo(e.cfg.Model, e.grad, e.x, batch, &e.gradSc, e.cfg.GradWorkers)
-	gradEnd := time.Now()
-	e.cfg.Trace.Span(round, trace.SpanGrad, start, gradEnd)
+	end := time.Now()
+	e.gradSecs = end.Sub(start).Seconds()
+	e.cfg.Trace.Span(round, trace.SpanGrad, start, end)
+}
 
+// StepMix completes the EXTRA iteration from the gradient ComputeGradient
+// left in scratch and the current neighbor views, returning the new
+// iterate. It is the barrier side of the pipelined round: call it only
+// after both the round's ComputeGradient and its last IngestFrame.
+//
+// The returned vector is the engine's live iterate: read-only, valid
+// until the next StepMix. Use Params for a stable copy.
+//
+//snap:alloc-free
+//snap:returns-borrowed
+func (e *Engine) StepMix(round int) linalg.Vector {
+	start := time.Now()
 	// mix = Σ_j w_ij·x_j^{k+1} (including the self term). The fused kernel
 	// accumulates neighbors in slot (= sorted id) order, bitwise-matching
 	// the sequential Scale-then-AXPY loop it replaced.
@@ -549,7 +597,7 @@ func (e *Engine) Step(round int) linalg.Vector {
 		e.next.AXPYInPlace(e.cfg.Alpha, e.gPrev)
 	}
 
-	e.cfg.Trace.Span(round, trace.SpanMix, gradEnd, time.Now())
+	e.cfg.Trace.Span(round, trace.SpanMix, start, time.Now())
 
 	// Rotate the scratch vectors instead of allocating: the old x becomes
 	// x^k, the freshly built iterate becomes x^{k+1}, and the old x^k
@@ -558,7 +606,10 @@ func (e *Engine) Step(round int) linalg.Vector {
 	e.xPrev, e.x, e.next = e.x, e.next, e.xPrev
 	e.grad, e.gPrev = e.gPrev, e.grad
 	e.k++
-	e.met.compute.Observe(time.Since(start).Seconds())
+	// Compute seconds stay CPU time (gradient + mixing), not wall time:
+	// under pipelining the two halves are separated by the gather window,
+	// and counting that wait would double-book it against MGatherWait.
+	e.met.compute.Observe(e.gradSecs + time.Since(start).Seconds())
 
 	if e.ape != nil && e.ape.AfterIteration() {
 		// Stage transition: publish the new schedule point and, when the
@@ -575,6 +626,20 @@ func (e *Engine) Step(round int) linalg.Vector {
 		e.restartRecursion()
 	}
 	return e.x
+}
+
+// Step advances the EXTRA recursion one iteration: the sequential form
+// of ComputeGradient + StepMix, kept for callers without a pipelined
+// loop. round selects the gradient mini-batch when BatchSize > 0.
+//
+// The returned vector is the engine's live iterate: read-only, valid
+// until the next Step. Use Params for a stable copy.
+//
+//snap:alloc-free
+//snap:returns-borrowed
+func (e *Engine) Step(round int) linalg.Vector {
+	e.ComputeGradient(round)
+	return e.StepMix(round)
 }
 
 // emitAPEStage records a stage-transition lifecycle event. It allocates

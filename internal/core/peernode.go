@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"math"
 	"net"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/snapml/snap/internal/codec"
 	"github.com/snapml/snap/internal/controlplane"
+	"github.com/snapml/snap/internal/linalg"
 	"github.com/snapml/snap/internal/metrics"
 	"github.com/snapml/snap/internal/obs"
 	"github.com/snapml/snap/internal/trace"
@@ -47,6 +49,18 @@ type PeerNodeConfig struct {
 	// RoundTimeout bounds how long a round waits for straggler neighbors
 	// before proceeding with whatever arrived (default 5s).
 	RoundTimeout time.Duration
+	// Sequential disables the pipelined round loop: frames are gathered
+	// in a batch and the gradient is computed after integration instead
+	// of concurrently with broadcast+gather. The iterates are bitwise
+	// identical either way (DESIGN.md §14); the knob exists for A/B
+	// measurement and as a diagnostic fallback, not as a tuning option.
+	Sequential bool
+	// EvalEvery computes the local loss every this many rounds (default 1;
+	// set larger for expensive models — a full-partition objective pass
+	// costs about half a gradient and runs on the round's critical path).
+	// Skipped rounds report the last evaluated value, mirroring
+	// ClusterConfig.EvalEvery.
+	EvalEvery int
 	// ConnectTimeout bounds cluster formation (default 10s).
 	ConnectTimeout time.Duration
 	// Logf, when set, receives diagnostic messages about tolerated faults
@@ -114,6 +128,27 @@ type PeerNode struct {
 	encBuf  []byte
 	updates []*codec.Update
 
+	// Pipelined-round state (DESIGN.md §14). gradCmd/gradDone drive the
+	// persistent gradient worker: persistent because a `go func` closure
+	// per round would allocate on the hot path. The round loop sends the
+	// round number, the worker runs Engine.ComputeGradient and signals
+	// gradDone; sends and receives are strictly paired, which is the
+	// happens-before edge that makes the engine's gradient scratch safe.
+	// gradDone is buffered so the worker can always deposit its signal
+	// and exit on shutdown. gradRunning lets the streaming-gather
+	// callback attribute frames to the overlap window without touching
+	// the channel; gradFinished is written by the worker before the done
+	// signal, so reading it after <-gradDone is ordered.
+	gradCmd      chan int
+	gradDone     chan struct{}
+	gradStop     sync.Once
+	gradRunning  atomic.Bool
+	gradFinished time.Time
+	// decUpd is the pipelined path's reusable decode target: frames are
+	// decoded and ingested one at a time, so one Update suffices where
+	// the batch path needs a pooled slice.
+	decUpd codec.Update
+
 	met roundMetrics
 }
 
@@ -123,8 +158,10 @@ type PeerNode struct {
 type roundMetrics struct {
 	build, encode, broadcast         *obs.Histogram
 	gather, decode, integrate        *obs.Histogram
-	roundSeconds                     *obs.Histogram
+	roundSeconds, overlapSeconds     *obs.Histogram
 	round, roundBytes, localLoss     *obs.Gauge
+	streamDepth                      *obs.Gauge
+	streamFrames                     *obs.Counter
 	sendFailures, corrupt, refreshes *obs.Counter
 	epoch                            *obs.Gauge
 	epochsApplied                    *obs.Counter
@@ -136,19 +173,22 @@ func newRoundMetrics(o *obs.Observer) roundMetrics {
 		return o.Histogram(obs.Label(obs.MPhaseSeconds, obs.LPhase, name), obs.TimeBuckets)
 	}
 	return roundMetrics{
-		build:        phase("build"),
-		encode:       phase("encode"),
-		broadcast:    phase("broadcast"),
-		gather:       phase("gather"),
-		decode:       phase("decode"),
-		integrate:    phase("integrate"),
-		roundSeconds: o.Histogram(obs.MRoundSeconds, obs.TimeBuckets),
-		round:        o.Gauge(obs.MRound),
-		roundBytes:   o.Gauge(obs.MRoundBytes),
-		localLoss:    o.Gauge(obs.MLocalLoss),
-		sendFailures: o.Counter(obs.MSendFailures),
-		corrupt:      o.Counter(obs.MCorruptFrames),
-		refreshes:    o.Counter(obs.MRefreshes),
+		build:          phase("build"),
+		encode:         phase("encode"),
+		broadcast:      phase("broadcast"),
+		gather:         phase("gather"),
+		decode:         phase("decode"),
+		integrate:      phase("integrate"),
+		roundSeconds:   o.Histogram(obs.MRoundSeconds, obs.TimeBuckets),
+		overlapSeconds: o.Histogram(obs.MOverlapSeconds, obs.TimeBuckets),
+		streamDepth:    o.Gauge(obs.MStreamDepth),
+		streamFrames:   o.Counter(obs.MStreamFrames),
+		round:          o.Gauge(obs.MRound),
+		roundBytes:     o.Gauge(obs.MRoundBytes),
+		localLoss:      o.Gauge(obs.MLocalLoss),
+		sendFailures:   o.Counter(obs.MSendFailures),
+		corrupt:        o.Counter(obs.MCorruptFrames),
+		refreshes:      o.Counter(obs.MRefreshes),
 
 		epoch:           o.Gauge(obs.MEpoch),
 		epochsApplied:   o.Counter(obs.MEpochsApplied),
@@ -199,7 +239,24 @@ func NewPeerNode(cfg PeerNodeConfig) (*PeerNode, error) {
 	if cfg.Faults != nil {
 		peer.SetFaults(cfg.Faults)
 	}
+	pn.gradCmd = make(chan int)
+	pn.gradDone = make(chan struct{}, 1)
+	go pn.gradWorker()
 	return pn, nil
+}
+
+// gradWorker is the persistent gradient goroutine behind the pipelined
+// round loop: it runs Engine.ComputeGradient for each round the loop
+// hands it, concurrently with that round's broadcast and gather. It
+// exits when Close closes gradCmd (ranging over the channel is the
+// cancellation).
+func (pn *PeerNode) gradWorker() {
+	for round := range pn.gradCmd {
+		pn.engine.ComputeGradient(round)
+		pn.gradFinished = time.Now()
+		pn.gradRunning.Store(false)
+		pn.gradDone <- struct{}{}
+	}
 }
 
 func (pn *PeerNode) logf(format string, args ...any) {
@@ -265,6 +322,11 @@ func (pn *PeerNode) Run(rounds int) (*metrics.Trace, error) {
 	result := &metrics.Trace{}
 	tr := pn.cfg.Tracer
 	fullFrame := int64(codec.FullFrameBytes(pn.cfg.Engine.Model.NumParams(), pn.cfg.Engine.Float32Wire))
+	evalEvery := pn.cfg.EvalEvery
+	if evalEvery <= 0 {
+		evalEvery = 1
+	}
+	lastLoss := math.NaN() // reported on rounds that skip the eval
 	startRound := pn.cfg.StartRound
 	if pn.cfg.Control != nil {
 		// A joiner that was slow between admission and Run may find the
@@ -295,9 +357,27 @@ func (pn *PeerNode) Run(rounds int) (*metrics.Trace, error) {
 			pn.refreshes.Add(1)
 			pn.met.refreshes.Inc()
 		}
+
+		pipelined := !pn.cfg.Sequential
+		if pipelined {
+			// Open the ingest window and kick the gradient worker before
+			// even building the outgoing update: ComputeGradient reads
+			// only the iterate and local data, state disjoint from
+			// everything build/encode/broadcast/ingest touch (DESIGN.md
+			// §14), so the whole comms window can hide behind it. Every
+			// kick is paired with exactly one gradDone receive below —
+			// including on the error returns — before StepMix or the next
+			// round's kick.
+			pn.engine.BeginIntegrate()
+			pn.gradRunning.Store(true)
+			pn.gradCmd <- round
+		}
 		t := time.Now()
 		u, err := pn.engine.BuildUpdate(round)
 		if err != nil {
+			if pipelined {
+				<-pn.gradDone
+			}
 			return result, err
 		}
 		end := time.Now()
@@ -311,6 +391,9 @@ func (pn *PeerNode) Run(rounds int) (*metrics.Trace, error) {
 			pn.encBuf, _, err = codec.EncodeTo(pn.encBuf, u)
 		}
 		if err != nil {
+			if pipelined {
+				<-pn.gradDone
+			}
 			return result, err
 		}
 		frame := pn.encBuf
@@ -319,6 +402,7 @@ func (pn *PeerNode) Run(rounds int) (*metrics.Trace, error) {
 		tr.Phase(round, trace.PhaseEncode, t, end)
 
 		t = end
+		bcastStart := t
 		if err := pn.peer.Broadcast(round, frame); err != nil {
 			// A dead link mid-broadcast is a straggler, not a node
 			// failure: the receiver reuses our last parameters and the
@@ -352,61 +436,15 @@ func (pn *PeerNode) Run(rounds int) (*metrics.Trace, error) {
 			obs.PutFields(f)
 		}
 
-		t = time.Now()
-		inbox := pn.peer.Gather(round, pn.cfg.RoundTimeout)
-		end = time.Now()
-		pn.met.gather.Observe(end.Sub(t).Seconds())
-		tr.Phase(round, trace.PhaseGather, t, end)
-
-		t = end
-		pn.updates = pn.updates[:0]
-		for from, f := range inbox {
-			dec := codec.GetUpdate()
-			if err := codec.DecodeInto(dec, f); err != nil {
-				// A corrupt frame from one neighbor is that neighbor's
-				// problem, not ours: drop it and reuse their last view.
-				codec.PutUpdate(dec)
-				pn.met.corrupt.Inc()
-				if pn.cfg.Obs.LogEnabled() {
-					fields := obs.GetFields()
-					fields["kind"] = "corrupt_frame"
-					fields["error"] = err.Error()
-					pn.cfg.Obs.Emit(id, obs.EvFault, round, from, fields)
-					obs.PutFields(fields)
-				}
-				pn.logf("node %d: dropping corrupt round-%d frame from %d: %v",
-					id, round, from, err)
-				continue
-			}
-			pn.updates = append(pn.updates, dec)
-			// DecodeInto never aliases the wire bytes, so the frame buffer
-			// can rejoin the transport's receive pool immediately.
-			transport.RecycleFrame(f)
-		}
-		end = time.Now()
-		pn.met.decode.Observe(end.Sub(t).Seconds())
-		tr.Phase(round, trace.PhaseDecode, t, end)
-
-		t = end
-		err = pn.engine.Integrate(pn.updates)
-		for i, dec := range pn.updates {
-			codec.PutUpdate(dec)
-			pn.updates[i] = nil
+		var iter linalg.Vector
+		if pipelined {
+			iter, err = pn.roundTailPipelined(round, tr, bcastStart)
+		} else {
+			iter, err = pn.roundTailSequential(round, tr)
 		}
 		if err != nil {
 			return result, err
 		}
-		end = time.Now()
-		pn.met.integrate.Observe(end.Sub(t).Seconds())
-		tr.Phase(round, trace.PhaseIntegrate, t, end)
-		if pn.cfg.Obs.LogEnabled() {
-			f := obs.GetFields()
-			f["updates"] = len(inbox)
-			pn.cfg.Obs.Emit(id, obs.EvIntegrate, round, -1, f)
-			obs.PutFields(f)
-		}
-
-		iter := pn.engine.Step(round)
 		if pn.cfg.Feed != nil {
 			// Same-goroutine read of the live iterate is safe here: the
 			// engine does not touch it again until the next Step, and
@@ -415,7 +453,13 @@ func (pn *PeerNode) Run(rounds int) (*metrics.Trace, error) {
 		}
 		pn.peer.ForgetRound(round)
 
-		loss := pn.engine.LocalLoss()
+		// The full-partition objective pass is the priciest non-training
+		// work on the round path; honor the eval cadence and carry the
+		// last value forward between evaluations.
+		if round%evalEvery == 0 || math.IsNaN(lastLoss) {
+			lastLoss = pn.engine.LocalLoss()
+		}
+		loss := lastLoss
 		roundBytes := pn.peer.BytesSent() - bytesBefore
 		roundEnd := time.Now()
 		roundSec := roundEnd.Sub(roundStart).Seconds()
@@ -446,6 +490,167 @@ func (pn *PeerNode) Run(rounds int) (*metrics.Trace, error) {
 		})
 	}
 	return result, nil
+}
+
+// roundTailPipelined finishes a round on the streaming path: frames are
+// decoded and ingested one by one as GatherStream delivers them, while
+// the gradient worker (kicked before build) is still running; StepMix
+// joins the two at the barrier. bcastStart anchors the overlap
+// accounting — the gradient was kicked before build, so the hidden
+// comms time is [bcastStart, min(gradient end, gather end)].
+//
+//snap:returns-borrowed
+func (pn *PeerNode) roundTailPipelined(round int, tr *trace.Tracer, bcastStart time.Time) (linalg.Vector, error) {
+	gatherStart := time.Now()
+	var (
+		ingestErr        error
+		got, overlapped  int
+		decSecs, intSecs float64
+		firstDecode      time.Time
+		lastDecode       time.Time
+		lastIngest       time.Time
+	)
+	pn.peer.GatherStream(round, pn.cfg.RoundTimeout, func(from int, f []byte) bool {
+		d0 := time.Now()
+		dec := &pn.decUpd
+		if err := codec.DecodeInto(dec, f); err != nil {
+			// A corrupt frame from one neighbor is that neighbor's
+			// problem, not ours: drop it and reuse their last view.
+			transport.RecycleFrame(f)
+			pn.noteCorruptFrame(round, from, err)
+			return true
+		}
+		// DecodeInto never aliases the wire bytes, so the frame buffer
+		// can rejoin the transport's receive pool immediately.
+		transport.RecycleFrame(f)
+		d1 := time.Now()
+		tr.Span(round, trace.SpanFrameDecode, d0, d1)
+		if err := pn.engine.IngestFrame(dec); err != nil {
+			ingestErr = err
+			return false // abort the stream; the error is fatal
+		}
+		i1 := time.Now()
+		decSecs += d1.Sub(d0).Seconds()
+		intSecs += i1.Sub(d1).Seconds()
+		if firstDecode.IsZero() {
+			firstDecode = d0
+		}
+		lastDecode, lastIngest = d1, i1
+		got++
+		if pn.gradRunning.Load() {
+			overlapped++
+		}
+		return true
+	})
+	gatherEnd := time.Now()
+	// The gather phase is the whole stream window; the decode and
+	// integrate phases are the slices of it spent off the wire. Their
+	// windows overlap the gather window — that is the pipeline, not a
+	// bookkeeping bug (DESIGN.md §14).
+	pn.met.gather.Observe(gatherEnd.Sub(gatherStart).Seconds())
+	tr.Phase(round, trace.PhaseGather, gatherStart, gatherEnd)
+	if firstDecode.IsZero() {
+		firstDecode, lastDecode, lastIngest = gatherEnd, gatherEnd, gatherEnd
+	}
+	pn.met.decode.Observe(decSecs)
+	tr.Phase(round, trace.PhaseDecode, firstDecode, lastDecode)
+	pn.met.integrate.Observe(intSecs)
+	tr.Phase(round, trace.PhaseIntegrate, firstDecode, lastIngest)
+
+	// Barrier: the round's gradient must be in scratch before StepMix
+	// reads it (and before a fatal return hands the loop back).
+	<-pn.gradDone
+	if ingestErr != nil {
+		return nil, ingestErr
+	}
+	overlapEnd := pn.gradFinished
+	if gatherEnd.Before(overlapEnd) {
+		overlapEnd = gatherEnd
+	}
+	if overlapEnd.After(bcastStart) {
+		pn.met.overlapSeconds.Observe(overlapEnd.Sub(bcastStart).Seconds())
+		tr.Span(round, trace.SpanOverlap, bcastStart, overlapEnd)
+	} else {
+		pn.met.overlapSeconds.Observe(0)
+	}
+	pn.met.streamDepth.Set(float64(overlapped))
+	pn.met.streamFrames.Add(int64(got))
+	pn.emitIntegrate(round, got)
+	return pn.engine.StepMix(round), nil
+}
+
+// roundTailSequential is the historical batch tail — gather, decode
+// all, integrate all, then compute the gradient and step. Kept for A/B
+// measurement against the pipelined tail: the two produce bitwise-
+// identical iterates (TestPipelinedMatchesSequentialTCP).
+//
+//snap:returns-borrowed
+func (pn *PeerNode) roundTailSequential(round int, tr *trace.Tracer) (linalg.Vector, error) {
+	t := time.Now()
+	inbox := pn.peer.Gather(round, pn.cfg.RoundTimeout)
+	end := time.Now()
+	pn.met.gather.Observe(end.Sub(t).Seconds())
+	tr.Phase(round, trace.PhaseGather, t, end)
+
+	t = end
+	pn.updates = pn.updates[:0]
+	for from, f := range inbox {
+		dec := codec.GetUpdate()
+		if err := codec.DecodeInto(dec, f); err != nil {
+			codec.PutUpdate(dec)
+			pn.noteCorruptFrame(round, from, err)
+			continue
+		}
+		pn.updates = append(pn.updates, dec)
+		// DecodeInto never aliases the wire bytes, so the frame buffer
+		// can rejoin the transport's receive pool immediately.
+		transport.RecycleFrame(f)
+	}
+	end = time.Now()
+	pn.met.decode.Observe(end.Sub(t).Seconds())
+	tr.Phase(round, trace.PhaseDecode, t, end)
+
+	t = end
+	err := pn.engine.Integrate(pn.updates)
+	for i, dec := range pn.updates {
+		codec.PutUpdate(dec)
+		pn.updates[i] = nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	end = time.Now()
+	pn.met.integrate.Observe(end.Sub(t).Seconds())
+	tr.Phase(round, trace.PhaseIntegrate, t, end)
+	pn.emitIntegrate(round, len(inbox))
+	return pn.engine.Step(round), nil
+}
+
+// noteCorruptFrame records a dropped undecodable frame (counter, fault
+// event, log line); the sender's last-known view is simply reused.
+func (pn *PeerNode) noteCorruptFrame(round, from int, err error) {
+	id := pn.engine.ID()
+	pn.met.corrupt.Inc()
+	if pn.cfg.Obs.LogEnabled() {
+		fields := obs.GetFields()
+		fields["kind"] = "corrupt_frame"
+		fields["error"] = err.Error()
+		pn.cfg.Obs.Emit(id, obs.EvFault, round, from, fields)
+		obs.PutFields(fields)
+	}
+	pn.logf("node %d: dropping corrupt round-%d frame from %d: %v",
+		id, round, from, err)
+}
+
+// emitIntegrate records the end-of-ingest round event with the number
+// of neighbor updates applied.
+func (pn *PeerNode) emitIntegrate(round, updates int) {
+	if pn.cfg.Obs.LogEnabled() {
+		f := obs.GetFields()
+		f["updates"] = updates
+		pn.cfg.Obs.Emit(pn.engine.ID(), obs.EvIntegrate, round, -1, f)
+		obs.PutFields(f)
+	}
 }
 
 // Epoch returns the id of the cluster epoch this node last applied (its
@@ -536,9 +741,12 @@ func (pn *PeerNode) Leave(timeout time.Duration) error {
 	return pn.cfg.Control.Leave(timeout)
 }
 
-// Close shuts down the control-plane client (if any) and the transport,
-// returning the first error from either.
+// Close shuts down the control-plane client (if any), the gradient
+// worker, and the transport, returning the first error from the former
+// two. Close must not race the node's own Run: finish (or abandon) the
+// round loop first, as every test and the snappeer binary do.
 func (pn *PeerNode) Close() error {
+	pn.gradStop.Do(func() { close(pn.gradCmd) })
 	var cerr error
 	if pn.cfg.Control != nil {
 		cerr = pn.cfg.Control.Close()

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/snapml/snap/internal/dataset"
+	"github.com/snapml/snap/internal/graph"
+	"github.com/snapml/snap/internal/model"
+	"github.com/snapml/snap/internal/transport"
+	"github.com/snapml/snap/internal/weights"
+)
+
+// BenchmarkExtraRoundDelayed measures the pipelined round loop where it
+// matters: on links with real latency. Every link of a 5-node complete
+// TCP graph gets a FaultDelay on every round, so the broadcast+gather
+// window costs degree×delay; node 0's local gradient is sized to take
+// about as long. The sequential loop pays compute + comms per round, the
+// pipelined loop pays ~max(compute, comms) — the recorded gap is the
+// overlap gain (see DESIGN.md §14; BENCH_PR10.json pins the numbers).
+//
+// Only node 0 carries a real partition; its four neighbors hold a few
+// samples each. That asymmetry is deliberate: the benchmark isolates one
+// node's compute-vs-comms overlap. With every node crunching an equal
+// gradient the run is CPU-bound on small CI machines (the OS already
+// overlaps node A's link sleeps with node B's compute), and the loop
+// structure under test stops being the thing measured.
+func BenchmarkExtraRoundDelayed(b *testing.B) {
+	for _, mode := range []struct {
+		name       string
+		sequential bool
+	}{
+		{"sequential", true},
+		{"pipelined", false},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			benchDelayedRounds(b, mode.sequential)
+		})
+	}
+}
+
+func benchDelayedRounds(b *testing.B, sequential bool) {
+	const (
+		n          = 5
+		features   = 256
+		hotSamples = 72000 // node 0's gradient ≈ the comms window below
+		linkDelay  = 8 * time.Millisecond
+	)
+	rng := rand.New(rand.NewSource(11))
+	parts := make([]*dataset.Dataset, n)
+	parts[0] = dataset.SyntheticCredit(dataset.CreditConfig{Samples: hotSamples, Features: features}, rng)
+	for i := 1; i < n; i++ {
+		parts[i] = dataset.SyntheticCredit(dataset.CreditConfig{Samples: 16, Features: features}, rng)
+	}
+	g := graph.Complete(n)
+	w := weights.Metropolis(g, 0)
+	m := model.NewLinearSVM(features)
+	init := m.InitParams(3)
+
+	nodes := make([]*PeerNode, n)
+	for i := 0; i < n; i++ {
+		// One delay rule per (neighbor, round): every frame of every
+		// benchmarked round crosses a slow link.
+		faults := transport.NewFaultSet()
+		for _, j := range g.Neighbors(i) {
+			for r := 0; r < b.N; r++ {
+				faults.Add(transport.FaultRule{
+					Peer: j, Round: r,
+					Action: transport.FaultDelay, Delay: linkDelay,
+				})
+			}
+		}
+		pn, err := NewPeerNode(PeerNodeConfig{
+			Engine: EngineConfig{
+				ID: i, Model: m, Data: parts[i], Alpha: 0.1,
+				WRow: w.Row(i), Neighbors: g.Neighbors(i),
+				Policy: SendSelected, Init: init,
+			},
+			ListenAddr:   "127.0.0.1:0",
+			RoundTimeout: 30 * time.Second,
+			Sequential:   sequential,
+			// The benchmark measures the round loop, not the objective
+			// telemetry; push the loss eval off the critical path.
+			EvalEvery: 1 << 30,
+			Faults:    faults,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes[i] = pn
+		defer pn.Close()
+	}
+	addrs := make(map[int]string, n)
+	for i, pn := range nodes {
+		addrs[i] = pn.Addr()
+	}
+	var wg sync.WaitGroup
+	connErrs := make([]error, n)
+	for i, pn := range nodes {
+		wg.Add(1)
+		go func(i int, pn *PeerNode) {
+			defer wg.Done()
+			neighbors := make(map[int]string)
+			for _, j := range g.Neighbors(i) {
+				neighbors[j] = addrs[j]
+			}
+			connErrs[i] = pn.Connect(neighbors)
+		}(i, pn)
+	}
+	wg.Wait()
+	for i, err := range connErrs {
+		if err != nil {
+			b.Fatalf("connect node %d: %v", i, err)
+		}
+	}
+
+	// The hot partition keeps ~150MB live while the measured rounds are
+	// alloc-free, so any GC cycle that lands mid-run is pure setup debt
+	// being collected on the 1-core critical path — worth whole
+	// milliseconds per round of noise. Collect the setup garbage now and
+	// push the next cycle far past anything the rounds can allocate.
+	old := debug.SetGCPercent(800)
+	defer debug.SetGCPercent(old)
+	runtime.GC()
+	// Two runtime Ps even on a single-core box: with GOMAXPROCS=1 the
+	// gradient goroutine holds the only P for multi-millisecond stretches
+	// and every broadcast sleep pays its wake latency on the critical
+	// path — measuring scheduler starvation, not the round structure.
+	// A second P lets the OS interleave comms wakes with compute the way
+	// a real edge device's kernel does.
+	oldProcs := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(oldProcs)
+
+	b.ResetTimer()
+	runErrs := make([]error, n)
+	for i, pn := range nodes {
+		wg.Add(1)
+		go func(i int, pn *PeerNode) {
+			defer wg.Done()
+			_, runErrs[i] = pn.Run(b.N)
+		}(i, pn)
+	}
+	wg.Wait()
+	b.StopTimer()
+	for i, err := range runErrs {
+		if err != nil {
+			b.Fatalf("node %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/snapml/snap/internal/codec"
+	"github.com/snapml/snap/internal/graph"
+	"github.com/snapml/snap/internal/model"
+	"github.com/snapml/snap/internal/trace"
+	"github.com/snapml/snap/internal/weights"
+)
+
+// runPipelineCluster trains a 5-node complete-graph TCP cluster for the
+// given number of rounds with the pipelined loop on or off and returns
+// every node's final iterate. Loopback with no faults means every frame
+// lands inside the (generous) round timeout, so the run is a pure
+// function of the fixed data/init seeds in startPeerNodes.
+func runPipelineCluster(t *testing.T, sequential bool, rounds int) [][]float64 {
+	t.Helper()
+	nodes := startPeerNodes(t, 5, 30*time.Second, func(i int, cfg *PeerNodeConfig) {
+		cfg.Sequential = sequential
+	})
+	var wg sync.WaitGroup
+	errs := make([]error, len(nodes))
+	for i, pn := range nodes {
+		wg.Add(1)
+		go func(i int, pn *PeerNode) {
+			defer wg.Done()
+			_, errs[i] = pn.Run(rounds)
+		}(i, pn)
+	}
+	wg.Wait()
+	params := make([][]float64, len(nodes))
+	for i, pn := range nodes {
+		if errs[i] != nil {
+			t.Fatalf("node %d (sequential=%v): %v", i, sequential, errs[i])
+		}
+		params[i] = pn.Engine().Params()
+	}
+	return params
+}
+
+// TestPipelinedMatchesSequentialTCP is the determinism contract of
+// DESIGN.md §14: overlapping the gradient with broadcast+gather and
+// decoding frames as they arrive must not change a single bit of any
+// iterate. The gradient reads e.x, which ingestion never touches; frames
+// land in per-sender slots and MixTo walks slots in sorted-id order, so
+// arrival order is irrelevant. Run under -race this also exercises the
+// gradient-worker handoff on every round of every node.
+func TestPipelinedMatchesSequentialTCP(t *testing.T) {
+	const rounds = 8
+	seq := runPipelineCluster(t, true, rounds)
+	pip := runPipelineCluster(t, false, rounds)
+
+	for i := range seq {
+		if len(seq[i]) != len(pip[i]) {
+			t.Fatalf("node %d: param length %d vs %d", i, len(seq[i]), len(pip[i]))
+		}
+		for j := range seq[i] {
+			if math.Float64bits(seq[i][j]) != math.Float64bits(pip[i][j]) {
+				t.Fatalf("node %d param %d: sequential %v, pipelined %v — iterates must be bitwise identical",
+					i, j, seq[i][j], pip[i][j])
+			}
+		}
+	}
+}
+
+// TestPipelinedRoundAllocFree is the alloc budget for the split round
+// primitives the pipelined loop is made of. A full serialized pipelined
+// round — BeginIntegrate, ComputeGradient, BuildUpdate, per-neighbor
+// IngestFrame, StepMix — must allocate nothing in steady state, for all
+// three engines of a complete graph feeding each other, exactly like the
+// batch-path budget in TestEngineRoundAllocFree.
+func TestPipelinedRoundAllocFree(t *testing.T) {
+	for _, policy := range []SendPolicy{SendSelected, SendChanged, SendAll} {
+		t.Run(policy.String(), func(t *testing.T) {
+			engines := newTestEngines(t, 3, policy)
+			round := 0
+			iterate := func() {
+				// Phase 1 of the pipelined loop: rotate neighbor views
+				// and kick the gradient before any frame arrives.
+				for _, e := range engines {
+					e.BeginIntegrate()
+					e.ComputeGradient(round)
+				}
+				for _, e := range engines {
+					upd, err := e.BuildUpdate(round)
+					if err != nil {
+						t.Fatal(err)
+					}
+					// Deliver the borrowed update to every other engine
+					// immediately: IngestFrame only reads it, and the
+					// sender's buffer lives until its next BuildUpdate.
+					for _, other := range engines {
+						if other == e {
+							continue
+						}
+						if err := other.IngestFrame(upd); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				for _, e := range engines {
+					e.StepMix(round)
+				}
+				round++
+			}
+			for i := 0; i < 5; i++ {
+				iterate() // warm the scratch buffers
+			}
+			if avg := testing.AllocsPerRun(100, iterate); avg != 0 {
+				t.Errorf("steady-state pipelined round allocated %v times per run, want 0", avg)
+			}
+		})
+	}
+}
+
+// TestPipelineSplitMatchesStep checks the refactoring seam directly:
+// BeginIntegrate plus per-frame IngestFrame is Integrate, and
+// ComputeGradient followed by StepMix is Step, bit for bit. Two engine
+// sets run the same schedule through the old and new entry points —
+// the split set even computes the gradient *before* building/ingesting
+// (the pipelined ordering), which must not matter because neither
+// BuildUpdate nor ingestion moves e.x.
+func TestPipelineSplitMatchesStep(t *testing.T) {
+	batch := newTestEngines(t, 3, SendSelected)
+	split := newTestEngines(t, 3, SendSelected)
+	const n = 3
+
+	for round := 0; round < 6; round++ {
+		// Batch path: build all, Integrate each node's neighbor set at
+		// once, then Step. Borrowed update buffers stay valid until the
+		// owner's next BuildUpdate, which is next round.
+		upds := make([]*codec.Update, n)
+		for i, e := range batch {
+			u, err := e.BuildUpdate(round)
+			if err != nil {
+				t.Fatal(err)
+			}
+			upds[i] = u
+		}
+		nbr := make([]*codec.Update, 0, n-1)
+		for i, e := range batch {
+			nbr = nbr[:0]
+			for j := 0; j < n; j++ {
+				if j != i {
+					nbr = append(nbr, upds[j])
+				}
+			}
+			if err := e.Integrate(nbr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, e := range batch {
+			e.Step(round)
+		}
+
+		// Split path: the pipelined primitive sequence.
+		for _, e := range split {
+			e.BeginIntegrate()
+			e.ComputeGradient(round)
+		}
+		for i, e := range split {
+			u, err := e.BuildUpdate(round)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j, other := range split {
+				if i == j {
+					continue
+				}
+				if err := other.IngestFrame(u); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		for _, e := range split {
+			e.StepMix(round)
+		}
+
+		for i := range batch {
+			bp, sp := batch[i].Params(), split[i].Params()
+			for j := range bp {
+				if math.Float64bits(bp[j]) != math.Float64bits(sp[j]) {
+					t.Fatalf("round %d node %d param %d: batch %v, split %v",
+						round, i, j, bp[j], sp[j])
+				}
+			}
+		}
+	}
+}
+
+// newTestEngines builds n engines over a complete graph that can feed
+// each other updates directly — the in-process skeleton of a cluster,
+// with the same data/seed recipe as newTestEngine.
+func newTestEngines(t *testing.T, n int, policy SendPolicy) []*Engine {
+	t.Helper()
+	_, parts := smallPartitions(t, n, 30, 1)
+	g := graph.Complete(n)
+	w := weights.Metropolis(g, 0)
+	m := model.NewLogisticRegression(8)
+	init := m.InitParams(7)
+	engines := make([]*Engine, n)
+	for i := 0; i < n; i++ {
+		eng, err := NewEngine(EngineConfig{
+			ID:        i,
+			Model:     m,
+			Data:      parts[i],
+			Alpha:     0.05,
+			WRow:      w.Row(i),
+			Neighbors: g.Neighbors(i),
+			Policy:    policy,
+			Init:      init,
+			Trace:     trace.New(trace.Config{Node: i}),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[i] = eng
+	}
+	return engines
+}

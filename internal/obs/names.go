@@ -46,6 +46,16 @@ const (
 	MCorruptFrames = "snap_corrupt_frames_total"
 	MRefreshes     = "snap_reconnect_refreshes_total"
 	MLocalLoss     = "snap_local_loss"
+	// Pipelined rounds (DESIGN.md §14). Overlap seconds is how much of
+	// the broadcast+gather window ran while the gradient was also
+	// running — the comms time the pipeline hid; round wall-clock ≈
+	// max(compute, comms) instead of their sum when it is high.
+	MOverlapSeconds = "snap_round_overlap_seconds"
+	// MStreamDepth gauges how many of the last round's frames were
+	// decoded+integrated inside the overlap window (before the local
+	// gradient finished); MStreamFrames counts streamed frames overall.
+	MStreamDepth  = "snap_gather_stream_depth"
+	MStreamFrames = "snap_gather_stream_frames_total"
 
 	// Control plane. The epoch gauge and reconfiguration histogram live on
 	// nodes; member counts and join/leave/broadcast counters live on the

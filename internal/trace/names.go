@@ -20,6 +20,15 @@ const (
 	// Compute sub-spans recorded by the engine inside Step.
 	SpanGrad = "grad" // local gradient (all shards)
 	SpanMix  = "mix"  // W-row mixing + EXTRA recursion update
+
+	// Pipelined-round spans (DESIGN.md §14). SpanOverlap is the window
+	// where gradient compute and the broadcast+gather ran concurrently —
+	// comms time the pipeline hid; SpanFrameDecode is one received
+	// frame's decode inside the gather window, recorded per frame so
+	// snaptrace shows frames being consumed while later ones are still
+	// in flight.
+	SpanOverlap     = "overlap"
+	SpanFrameDecode = "frame_decode"
 )
 
 // PhaseID indexes the fixed per-round phase slots. The order is the round

@@ -88,8 +88,10 @@ type Config struct {
 	// — more than any reasonable topology degree). Excess is counted, not
 	// stored.
 	Recvs int
-	// Spans caps the extra (non-phase) spans per round (default 8).
-	// Excess is counted, not stored.
+	// Spans caps the extra (non-phase) spans per round (default 16: a
+	// pipelined round records grad, mix, overlap, and one frame_decode
+	// per neighbor, so the default covers degree ≤ 13). Excess is
+	// counted, not stored.
 	Spans int
 }
 
@@ -101,7 +103,7 @@ func (cfg Config) withDefaults() Config {
 		cfg.Recvs = 32
 	}
 	if cfg.Spans <= 0 {
-		cfg.Spans = 8
+		cfg.Spans = 16
 	}
 	return cfg
 }

@@ -17,6 +17,7 @@ package transport
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 
 	"github.com/snapml/snap/internal/graph"
@@ -52,6 +53,11 @@ type Sim struct {
 	inboxSpare []map[int][]byte
 	uniSpare   []map[int][]byte
 	dropped    int64 // frames lost to failed links
+
+	// nbrSorted caches each node's neighbor ids in ascending order so
+	// CollectStream delivers deterministically without re-querying (and
+	// re-copying) the topology every round. Immutable after NewSim.
+	nbrSorted [][]int
 }
 
 // NewSim builds a simulated network over topo. ledger may be nil, in which
@@ -67,6 +73,12 @@ func NewSim(topo *graph.Graph, ledger *metrics.CostLedger) *Sim {
 	}
 	s.resetInboxes()
 	s.downLinks = make(map[graph.Edge]bool)
+	s.nbrSorted = make([][]int, topo.N())
+	for i := range s.nbrSorted {
+		ids := topo.Neighbors(i)
+		sort.Ints(ids)
+		s.nbrSorted[i] = ids
+	}
 	return s
 }
 
@@ -173,6 +185,32 @@ func (s *Sim) Collect(i int) map[int][]byte {
 	clear(spare)
 	s.inboxes[i], s.inboxSpare[i] = spare, out
 	return out
+}
+
+// CollectStream drains node i's neighbor inbox for the current round,
+// delivering (sender, frame) pairs in ascending sender-id order — the
+// streaming shape of Peer.GatherStream, so simulated and TCP round
+// loops share one ingest path. A lockstep network has no mid-round
+// arrivals, so the whole inbox is delivered synchronously; the value of
+// the streaming form here is the fixed per-sender iteration order.
+// Frames follow the same reuse contract as Collect: valid until node
+// i's next Collect/CollectStream. deliver returning false stops the
+// stream early (remaining frames are discarded with the round, as with
+// an unconsumed Collect map). Returns the number of frames delivered.
+func (s *Sim) CollectStream(i int, deliver func(from int, frame []byte) bool) int {
+	box := s.Collect(i)
+	n := 0
+	for _, from := range s.nbrSorted[i] {
+		frame, ok := box[from]
+		if !ok {
+			continue
+		}
+		n++
+		if !deliver(from, frame) {
+			break
+		}
+	}
+	return n
 }
 
 // CollectUnicast drains node i's unicast inbox for the current round,

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -97,6 +98,14 @@ type Peer struct {
 	// pending buffers frames by round until Gather asks for them.
 	pendingMu sync.Mutex
 	pending   map[int]map[int][]byte // guarded by pendingMu
+
+	// Streaming-gather scratch, owned by the single gathering goroutine:
+	// Gather/GatherStream must not be invoked concurrently with each
+	// other (the round loop is their only caller). Reused across rounds
+	// so a steady-state stream performs no allocations.
+	streamSeen  map[int]bool // senders already delivered this call
+	streamKeep  map[int]bool // expected-sender set, rebuilt per flush
+	streamReady []inFrame    // frames staged for delivery outside locks
 
 	bytesSent  atomic.Int64
 	framesSent atomic.Int64
@@ -366,6 +375,17 @@ func (p *Peer) Connect(neighbors map[int]string, timeout time.Duration) error {
 // retry budget.
 func (p *Peer) dial(nid int, addr string, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
+	// One timer reused across retries instead of a time.After per
+	// iteration, which would leak a live timer into the runtime heap on
+	// every attempt. Each loop iteration consumes the timer's channel
+	// before Reset, so reuse is race-free; paths that return without
+	// consuming it are covered by the deferred Stop.
+	var retry *time.Timer
+	defer func() {
+		if retry != nil {
+			retry.Stop()
+		}
+	}()
 	for {
 		conn, err := p.dialOnce(addr, deadline)
 		if err == nil {
@@ -378,10 +398,15 @@ func (p *Peer) dial(nid int, addr string, timeout time.Duration) error {
 		if time.Now().After(deadline) {
 			return fmt.Errorf("transport: peer %d dial %d@%s: %w", p.id, nid, addr, err)
 		}
+		if retry == nil {
+			retry = time.NewTimer(50 * time.Millisecond)
+		} else {
+			retry.Reset(50 * time.Millisecond)
+		}
 		select {
 		case <-p.closed:
 			return fmt.Errorf("transport: peer %d closed while dialing %d", p.id, nid)
-		case <-time.After(50 * time.Millisecond):
+		case <-retry.C:
 		}
 	}
 }
@@ -445,6 +470,13 @@ func (p *Peer) acceptLoop() {
 // connection was rejected (peer closed, or a canonical duplicate already
 // exists).
 func (p *Peer) addConn(nid int, conn net.Conn, dialed bool) bool {
+	// Disable Nagle explicitly on every registered conn, dialed or
+	// accepted. Go's dialer does this by default, but the round loop's
+	// latency budget depends on it (a delayed small frame stalls the
+	// whole gather), so it is pinned here rather than left implicit.
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
 	canonical := dialed == (p.id > nid)
 	p.mu.Lock()
 	select {
@@ -572,6 +604,15 @@ func (p *Peer) reconnectLoop(nid int, addr string) {
 		p.mu.Unlock()
 	}()
 	backoff := reconnectBaseDelay
+	// Reused backoff timer (see dial): reconnect loops can spin for the
+	// whole lifetime of a partition, and a time.After per attempt keeps
+	// feeding garbage timers to the runtime.
+	var retry *time.Timer
+	defer func() {
+		if retry != nil {
+			retry.Stop()
+		}
+	}()
 	for {
 		select {
 		case <-p.closed:
@@ -596,10 +637,15 @@ func (p *Peer) reconnectLoop(nid int, addr string) {
 		// Full jitter on top of the exponential base keeps a partitioned
 		// clique from re-dialing in lockstep.
 		sleep := backoff + time.Duration(rand.Int63n(int64(backoff)))
+		if retry == nil {
+			retry = time.NewTimer(sleep)
+		} else {
+			retry.Reset(sleep)
+		}
 		select {
 		case <-p.closed:
 			return
-		case <-time.After(sleep):
+		case <-retry.C:
 		}
 		backoff *= 2
 		if backoff > reconnectMaxDelay {
@@ -768,6 +814,11 @@ func (p *Peer) expectedConns() []int {
 			ids = append(ids, nid)
 		}
 	}
+	// Ascending order so Broadcast visits links deterministically instead
+	// of in map-iteration order: on slow links a frame's queueing delay
+	// behind its siblings becomes reproducible, which keeps lockstep
+	// rounds from staggering differently run to run.
+	sort.Ints(ids)
 	return ids
 }
 
@@ -778,15 +829,46 @@ func (p *Peer) expectedConns() []int {
 // count is re-evaluated whenever the connection set changes, so a
 // neighbor that dies mid-round costs at most this one timeout —
 // subsequent rounds no longer wait for it.
+//
+// Gather is a thin batch adapter over GatherStream; all fault semantics
+// (dead-link re-evaluation, mid-wait membership changes, withholding of
+// unexpected senders) live in the streaming core.
 func (p *Peer) Gather(round int, timeout time.Duration) map[int][]byte {
+	got := make(map[int][]byte)
+	p.GatherStream(round, timeout, func(from int, frame []byte) bool {
+		got[from] = frame
+		return true
+	})
+	return got
+}
+
+// GatherStream is the streaming form of Gather: deliver is invoked with
+// (sender, frame) as each of the round's frames arrives, instead of the
+// frames being batched until the round completes. This is what lets a
+// caller decode and integrate frame i while frame i+1 is still on the
+// wire. deliver returning false aborts the stream early. The return
+// values are the number of frames delivered and the number the stream
+// was waiting for when it returned (got < want means stragglers).
+//
+// Semantics match the historical batch Gather exactly: at most one frame
+// per sender per call; frames from senders outside the expected neighbor
+// set (see expectedConns) are withheld, left buffered for a later epoch;
+// the expected count is re-evaluated on every membership change; frames
+// stay buffered until ForgetRound, so a repeated call for the same round
+// re-delivers them. Frame ownership transfers to deliver — the caller
+// recycles (or retains) each frame it is handed.
+//
+// GatherStream, Gather, and the deliver callback run on the caller's
+// goroutine; the transport never calls deliver concurrently.
+func (p *Peer) GatherStream(round int, timeout time.Duration, deliver func(from int, frame []byte) bool) (got, want int) {
 	start := time.Now()
-	got, want := p.gather(round, timeout)
+	got, want = p.gatherStream(round, timeout, deliver)
 	wait := time.Since(start).Seconds()
 	p.mu.Lock()
 	waitH, short, o := p.gatherWaitH, p.gatherShort, p.obs
 	p.mu.Unlock()
 	waitH.Observe(wait)
-	if len(got) < want {
+	if got < want {
 		short.Inc()
 	}
 	// Skip the field map entirely when no event log is attached: this is
@@ -795,41 +877,45 @@ func (p *Peer) Gather(round int, timeout time.Duration) map[int][]byte {
 	if o.LogEnabled() {
 		f := obs.GetFields()
 		f["seconds"] = wait
-		f["got"] = len(got)
+		f["got"] = got
 		f["want"] = want
 		o.Emit(p.id, obs.EvGatherWait, round, -1, f)
 		obs.PutFields(f)
 	}
-	return got
+	return got, want
 }
 
-// gather implements Gather, additionally returning the number of frames
-// it was waiting for when it returned (for straggler accounting). Frames
-// from senders outside the expected neighbor set are withheld (left
-// buffered): handing them up would make the engine reject the round,
-// since a not-yet-reconfigured engine treats them as non-neighbors.
-func (p *Peer) gather(round int, timeout time.Duration) (map[int][]byte, int) {
+// gatherStream implements GatherStream. Frames from senders outside the
+// expected neighbor set are withheld (left buffered): handing them up
+// would make the engine reject the round, since a not-yet-reconfigured
+// engine treats them as non-neighbors.
+func (p *Peer) gatherStream(round int, timeout time.Duration, deliver func(from int, frame []byte) bool) (int, int) {
 	deadline := time.NewTimer(timeout)
 	defer deadline.Stop()
 
-	take := func() (map[int][]byte, int) {
-		got := p.takePending(round)
-		expected := p.expectedConns()
-		want := len(expected)
-		keep := make(map[int]bool, want)
-		for _, nid := range expected {
-			keep[nid] = true
-		}
-		for from := range got {
-			if !keep[from] {
-				delete(got, from)
+	seen := p.streamSeen
+	if seen == nil {
+		seen = make(map[int]bool, 8)
+		p.streamSeen = seen
+	}
+	clear(seen)
+
+	got := 0
+	// flush hands every buffered, expected, not-yet-delivered frame to
+	// deliver (outside all locks) and reports the current want count.
+	flush := func() (want int, aborted bool) {
+		want, ready := p.readyFrames(round, seen)
+		for _, m := range ready {
+			got++
+			if !deliver(m.from, m.frame) {
+				return want, true
 			}
 		}
-		return got, want
+		return want, false
 	}
 	for {
-		got, want := take()
-		if len(got) >= want {
+		want, aborted := flush()
+		if aborted || got >= want {
 			return got, want
 		}
 		select {
@@ -838,13 +924,55 @@ func (p *Peer) gather(round int, timeout time.Duration) (map[int][]byte, int) {
 		case <-p.membership:
 			// Connection set changed; recompute want.
 		case <-deadline.C:
-			got, want := take()
+			want, _ := flush()
 			return got, want
 		case <-p.closed:
-			got, want := take()
+			want, _ := flush()
 			return got, want
 		}
 	}
+}
+
+// readyFrames stages (into reusable scratch) the frames buffered for
+// round from expected senders not yet marked in seen, marking them, and
+// returns the current expected-sender count. Staged frames are sorted by
+// sender id so delivery order is deterministic when several frames are
+// already buffered. The frames themselves stay in the pending bucket
+// until ForgetRound.
+func (p *Peer) readyFrames(round int, seen map[int]bool) (int, []inFrame) {
+	p.mu.Lock()
+	keep := p.streamKeep
+	if keep == nil {
+		keep = make(map[int]bool, len(p.conns))
+		p.streamKeep = keep
+	}
+	clear(keep)
+	want := 0
+	for nid := range p.conns {
+		if _, ok := p.addrs[nid]; ok {
+			keep[nid] = true
+			want++
+		}
+	}
+	p.mu.Unlock()
+
+	ready := p.streamReady[:0]
+	p.pendingMu.Lock()
+	for from, frame := range p.pending[round] {
+		if keep[from] && !seen[from] {
+			seen[from] = true
+			ready = append(ready, inFrame{from: from, round: round, frame: frame})
+		}
+	}
+	p.pendingMu.Unlock()
+	// Insertion sort: degree-sized, already mostly sorted, no allocation.
+	for i := 1; i < len(ready); i++ {
+		for j := i; j > 0 && ready[j].from < ready[j-1].from; j-- {
+			ready[j], ready[j-1] = ready[j-1], ready[j]
+		}
+	}
+	p.streamReady = ready
+	return want, ready
 }
 
 func (p *Peer) storePending(m inFrame) {
@@ -856,22 +984,6 @@ func (p *Peer) storePending(m inFrame) {
 		p.pending[m.round] = byFrom
 	}
 	byFrom[m.from] = m.frame
-}
-
-// takePending returns a copy of the frames buffered for round. The bucket
-// itself is kept until ForgetRound so a late Gather retry still sees them.
-func (p *Peer) takePending(round int) map[int][]byte {
-	p.pendingMu.Lock()
-	defer p.pendingMu.Unlock()
-	byFrom := p.pending[round]
-	if byFrom == nil {
-		return map[int][]byte{}
-	}
-	out := make(map[int][]byte, len(byFrom))
-	for k, v := range byFrom {
-		out[k] = v
-	}
-	return out
 }
 
 // ForgetRound discards buffered frames for rounds at or before the given
